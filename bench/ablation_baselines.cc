@@ -1,0 +1,78 @@
+// Ablation: randomized rank promotion vs the deterministic anti-entrenchment
+// alternatives the paper cites in Section 2 -- age-weighted scoring
+// (Baeza-Yates et al. [3], Yu et al. [22]) and derivative-based quality
+// forecasting (Cho, Roy & Adams [6]) -- on the default community.
+//
+// The paper argues its approach is preferable because it needs no per-page
+// age/trend measurements; this bench quantifies how the alternatives
+// actually stack up in the same world.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/community.h"
+#include "core/ranking_policy.h"
+#include "harness/sweep.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+  bench::PrintBanner(
+      "Ablation", "randomized promotion vs related-work baselines",
+      "selective promotion should lead; age-weighted and derivative scoring "
+      "recover part of the gap without randomness (at the cost of needing "
+      "age/trend estimates)");
+
+  struct Variant {
+    std::string name;
+    RankPromotionConfig config;
+    BaselineScoring baseline;
+  };
+  const std::vector<Variant> variants{
+      {"popularity only", RankPromotionConfig::None(),
+       BaselineScoring::kNone},
+      {"age-weighted [3,22]", RankPromotionConfig::None(),
+       BaselineScoring::kAgeWeighted},
+      {"derivative forecast [6]", RankPromotionConfig::None(),
+       BaselineScoring::kDerivative},
+      {"selective promotion r=0.1 k=1", RankPromotionConfig::Selective(0.1, 1),
+       BaselineScoring::kNone},
+      {"selective promotion r=0.1 k=2", RankPromotionConfig::Selective(0.1, 2),
+       BaselineScoring::kNone},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const Variant& v : variants) {
+    SweepPoint pt;
+    pt.label = v.name;
+    pt.params = CommunityParams::Default();
+    pt.config = v.config;
+    pt.options.seed = 20052005;
+    pt.options.ghost_count = 64;
+    pt.options.ghost_max_age = 2500;
+    pt.options.warmup_days = 1500;
+    pt.options.measure_days = 600;
+    pt.options.baseline = v.baseline;
+    points.push_back(pt);
+  }
+  const std::vector<SweepOutcome> outcomes = RunAgentSweepAveraged(points, 3);
+
+  Table table({"method", "normalized QPC", "mean TBP (days)",
+               "TBP done/censored"});
+  for (const SweepOutcome& o : outcomes) {
+    table.Row()
+        .Cell(o.point.label)
+        .Cell(o.result.normalized_qpc, 3)
+        .Cell(o.result.tbp_samples ? FormatFixed(o.result.mean_tbp, 0)
+                                   : std::string("censored"))
+        .Cell(std::to_string(o.result.tbp_samples) + "/" +
+              std::to_string(o.result.tbp_censored));
+    bench::RegisterCounterBenchmark(
+        "Ablation/baselines/" + o.point.label,
+        {{"normalized_qpc", o.result.normalized_qpc}});
+  }
+  return bench::FinishFigure(argc, argv, table);
+}

@@ -1,0 +1,54 @@
+#ifndef RANDRANK_BENCH_BENCH_COMMON_H_
+#define RANDRANK_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace randrank::bench {
+
+/// Prints a figure banner with the paper's qualitative expectation, so the
+/// bench output is self-describing when captured to a log.
+inline void PrintBanner(const std::string& figure, const std::string& what,
+                        const std::string& expectation) {
+  std::cout << "\n=== " << figure << ": " << what << " ===\n"
+            << "paper expectation: " << expectation << "\n\n";
+}
+
+/// Registers a no-op google-benchmark entry per data point that carries the
+/// point's metrics as user counters. The expensive sweeps run once, in
+/// parallel, before registration; the benchmark pass then reports the cached
+/// values in the standard benchmark table format.
+inline void RegisterCounterBenchmark(
+    const std::string& name, const std::map<std::string, double>& counters) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [counters](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                 }
+                                 for (const auto& [key, value] : counters) {
+                                   state.counters[key] = value;
+                                 }
+                               })
+      ->Iterations(1);
+}
+
+/// Standard tail for figure benches: run the registered counter benchmarks
+/// and then print the paper-style series table.
+inline int FinishFigure(int argc, char** argv, const Table& table) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << '\n';
+  table.Print(std::cout);
+  std::cout << '\n';
+  return 0;
+}
+
+}  // namespace randrank::bench
+
+#endif  // RANDRANK_BENCH_BENCH_COMMON_H_

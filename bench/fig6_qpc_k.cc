@@ -1,0 +1,61 @@
+// Figure 6: normalized QPC for the default community under selective
+// randomized rank promotion, as both the degree of randomization r and the
+// starting point k vary (simulation, as in the paper).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/community.h"
+#include "core/ranking_policy.h"
+#include "harness/sweep.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+  bench::PrintBanner(
+      "Figure 6", "normalized QPC vs r for k in {1,2,6,11,21} (selective)",
+      "larger k needs larger r to reach high QPC; k=1/2 with r~0.1 captures "
+      "most of the benefit; very large r degrades QPC for small k");
+
+  const std::vector<double> rs{0.05, 0.1, 0.2, 0.4, 0.7, 1.0};
+  const std::vector<size_t> ks{1, 2, 6, 11, 21};
+  const CommunityParams community = CommunityParams::Default();
+
+  std::vector<SweepPoint> points;
+  for (const size_t k : ks) {
+    for (const double r : rs) {
+      SweepPoint pt;
+      pt.label = "k=" + std::to_string(k);
+      pt.x = r;
+      pt.params = community;
+      pt.config = RankPromotionConfig::Selective(r, k);
+      pt.options.seed = 555;
+      pt.options.ghost_count = 0;
+      pt.options.warmup_days = 1500;
+      pt.options.measure_days = 500;
+      points.push_back(pt);
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = RunAgentSweepAveraged(points, 2);
+
+  std::vector<std::string> header{"r"};
+  for (const size_t k : ks) header.push_back("k=" + std::to_string(k));
+  Table table(header);
+  for (size_t ri = 0; ri < rs.size(); ++ri) {
+    table.Row().Cell(rs[ri], 2);
+    for (size_t ki = 0; ki < ks.size(); ++ki) {
+      const double qpc = outcomes[ki * rs.size() + ri].result.normalized_qpc;
+      table.Cell(qpc, 3);
+      if (ri == rs.size() - 1 || rs[ri] == 0.1) {
+        bench::RegisterCounterBenchmark(
+            "Fig6/qpc/k=" + std::to_string(ks[ki]) +
+                "/r=" + FormatFixed(rs[ri], 2),
+            {{"normalized_qpc", qpc}});
+      }
+    }
+  }
+  return bench::FinishFigure(argc, argv, table);
+}

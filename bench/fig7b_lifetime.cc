@@ -1,0 +1,62 @@
+// Figure 7(b): influence of expected page lifetime l on normalized QPC,
+// nonrandomized vs selective randomized ranking (r = 0.1, k in {1, 2}).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ranking_policy.h"
+#include "harness/presets.h"
+#include "harness/sweep.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+  bench::PrintBanner(
+      "Figure 7(b)", "normalized QPC vs expected page lifetime (years)",
+      "QPC improves with lifetime for all methods; the randomized margin "
+      "over deterministic ranking grows with lifetime");
+
+  const std::vector<double> lifetimes{0.5, 1.5, 2.5, 3.5, 4.5};
+  const std::vector<std::pair<std::string, RankPromotionConfig>> policies{
+      {"none", RankPromotionConfig::None()},
+      {"selective k=1", RankPromotionConfig::Selective(0.1, 1)},
+      {"selective k=2", RankPromotionConfig::Selective(0.1, 2)},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const auto& [label, config] : policies) {
+    for (const double years : lifetimes) {
+      SweepPoint pt;
+      pt.label = label;
+      pt.x = years;
+      pt.params = CommunityWithLifetimeYears(years);
+      pt.config = config;
+      pt.options.seed = 2718;
+      pt.options.ghost_count = 0;
+      // Warmup must scale with lifetime to reach steady state.
+      pt.options.warmup_days =
+          static_cast<size_t>(2.5 * pt.params.lifetime_days);
+      pt.options.measure_days = 400;
+      points.push_back(pt);
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = RunAgentSweepAveraged(points, 2);
+
+  Table table({"lifetime (years)", "none", "selective k=1", "selective k=2"});
+  for (size_t li = 0; li < lifetimes.size(); ++li) {
+    table.Row().Cell(lifetimes[li], 1);
+    for (size_t pi = 0; pi < policies.size(); ++pi) {
+      const double qpc =
+          outcomes[pi * lifetimes.size() + li].result.normalized_qpc;
+      table.Cell(qpc, 3);
+      bench::RegisterCounterBenchmark(
+          "Fig7b/lifetime/" + policies[pi].first +
+              "/l=" + FormatFixed(lifetimes[li], 1),
+          {{"normalized_qpc", qpc}});
+    }
+  }
+  return bench::FinishFigure(argc, argv, table);
+}

@@ -1,0 +1,63 @@
+// Figure 7(c): influence of the aggregate visit rate vu on normalized QPC,
+// nonrandomized vs selective randomized ranking (r = 0.1, k in {1, 2}).
+// High visit rates exercise the simulator's batched (fluid) visit path.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ranking_policy.h"
+#include "harness/presets.h"
+#include "harness/sweep.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+  bench::PrintBanner(
+      "Figure 7(c)", "normalized QPC vs total visits/day (vu)",
+      "popularity-based ranking fails outright at very low visit rates; at "
+      "very high rates randomization is unnecessary (curves converge) but "
+      "does not hurt; in between randomization wins substantially");
+
+  const std::vector<double> rates{10, 100, 1000, 10000, 100000, 1000000,
+                                  10000000};
+  const std::vector<std::pair<std::string, RankPromotionConfig>> policies{
+      {"none", RankPromotionConfig::None()},
+      {"selective k=1", RankPromotionConfig::Selective(0.1, 1)},
+      {"selective k=2", RankPromotionConfig::Selective(0.1, 2)},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const auto& [label, config] : policies) {
+    for (const double vu : rates) {
+      SweepPoint pt;
+      pt.label = label;
+      pt.x = vu;
+      pt.params = CommunityWithVisitRate(vu);
+      pt.config = config;
+      pt.options.seed = 161803;
+      pt.options.ghost_count = 0;
+      pt.options.warmup_days = 1500;
+      pt.options.measure_days = 400;
+      points.push_back(pt);
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = RunAgentSweepAveraged(points, 2);
+
+  Table table({"visits/day", "none", "selective k=1", "selective k=2"});
+  for (size_t vi = 0; vi < rates.size(); ++vi) {
+    table.Row().Cell(FormatLogTick(rates[vi]));
+    for (size_t pi = 0; pi < policies.size(); ++pi) {
+      const double qpc =
+          outcomes[pi * rates.size() + vi].result.normalized_qpc;
+      table.Cell(qpc, 3);
+      bench::RegisterCounterBenchmark(
+          "Fig7c/visits/" + policies[pi].first + "/vu=" +
+              FormatLogTick(rates[vi]),
+          {{"normalized_qpc", qpc}});
+    }
+  }
+  return bench::FinishFigure(argc, argv, table);
+}

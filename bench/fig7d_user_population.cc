@@ -1,0 +1,62 @@
+// Figure 7(d): influence of the size of the user population u, holding the
+// total visit budget fixed at 1000/day (core of active users vs many
+// occasional visitors), nonrandomized vs selective randomized ranking.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ranking_policy.h"
+#include "harness/presets.h"
+#include "harness/sweep.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+  bench::PrintBanner(
+      "Figure 7(d)", "normalized QPC vs user-population size u (vu fixed)",
+      "all methods decline somewhat as the user pool grows (stray visits "
+      "give less awareness traction), with performance ratios roughly "
+      "preserved");
+
+  const std::vector<size_t> users{100, 1000, 10000, 100000, 1000000};
+  const std::vector<std::pair<std::string, RankPromotionConfig>> policies{
+      {"none", RankPromotionConfig::None()},
+      {"selective k=1", RankPromotionConfig::Selective(0.1, 1)},
+      {"selective k=2", RankPromotionConfig::Selective(0.1, 2)},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const auto& [label, config] : policies) {
+    for (const size_t u : users) {
+      SweepPoint pt;
+      pt.label = label;
+      pt.x = static_cast<double>(u);
+      pt.params = CommunityWithUsers(u);
+      pt.config = config;
+      pt.options.seed = 9090;
+      pt.options.ghost_count = 0;
+      pt.options.warmup_days = 1500;
+      pt.options.measure_days = 400;
+      points.push_back(pt);
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = RunAgentSweepAveraged(points, 2);
+
+  Table table({"users (u)", "none", "selective k=1", "selective k=2"});
+  for (size_t ui = 0; ui < users.size(); ++ui) {
+    table.Row().Cell(FormatLogTick(static_cast<double>(users[ui])));
+    for (size_t pi = 0; pi < policies.size(); ++pi) {
+      const double qpc =
+          outcomes[pi * users.size() + ui].result.normalized_qpc;
+      table.Cell(qpc, 3);
+      bench::RegisterCounterBenchmark(
+          "Fig7d/users/" + policies[pi].first + "/u=" +
+              FormatLogTick(static_cast<double>(users[ui])),
+          {{"normalized_qpc", qpc}});
+    }
+  }
+  return bench::FinishFigure(argc, argv, table);
+}

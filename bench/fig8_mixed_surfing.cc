@@ -1,0 +1,63 @@
+// Figure 8: mixed surfing and searching (Section 8). Absolute QPC vs the
+// fraction x of random-surfing visits (teleport c = 0.15), for nonrandomized
+// and selective randomized ranking (r = 0.1, k in {1, 2}).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/community.h"
+#include "core/ranking_policy.h"
+#include "harness/sweep.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+  bench::PrintBanner(
+      "Figure 8", "absolute QPC vs fraction of random surfing x (c = 0.15)",
+      "randomized promotion is never worse than deterministic ranking at any "
+      "x; a little surfing helps deterministic ranking (teleport explores) "
+      "but too much hurts everyone");
+
+  const std::vector<double> fractions{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<std::pair<std::string, RankPromotionConfig>> policies{
+      {"none", RankPromotionConfig::None()},
+      {"selective k=1", RankPromotionConfig::Selective(0.1, 1)},
+      {"selective k=2", RankPromotionConfig::Selective(0.1, 2)},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const auto& [label, config] : policies) {
+    for (const double x : fractions) {
+      SweepPoint pt;
+      pt.label = label;
+      pt.x = x;
+      pt.params = CommunityParams::Default();
+      pt.config = config;
+      pt.options.seed = 8008;
+      pt.options.ghost_count = 0;
+      pt.options.surf_fraction = x;
+      pt.options.teleport = 0.15;
+      pt.options.warmup_days = 1500;
+      pt.options.measure_days = 400;
+      points.push_back(pt);
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = RunAgentSweepAveraged(points, 2);
+
+  Table table({"surf fraction x", "none", "selective k=1", "selective k=2"});
+  for (size_t xi = 0; xi < fractions.size(); ++xi) {
+    table.Row().Cell(fractions[xi], 1);
+    for (size_t pi = 0; pi < policies.size(); ++pi) {
+      const double qpc = outcomes[pi * fractions.size() + xi].result.qpc;
+      table.Cell(qpc, 4);
+      bench::RegisterCounterBenchmark(
+          "Fig8/surf/" + policies[pi].first + "/x=" +
+              FormatFixed(fractions[xi], 1),
+          {{"absolute_qpc", qpc}});
+    }
+  }
+  return bench::FinishFigure(argc, argv, table);
+}

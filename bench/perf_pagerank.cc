@@ -1,0 +1,85 @@
+// Performance microbenchmarks for the PageRank substrate: power iteration
+// across graph scales, generators, thread counts, and warm-start speedup.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "pagerank/indegree.h"
+#include "pagerank/pagerank.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace randrank;
+
+void BM_PageRankPowerIteration(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  const CsrGraph g = PreferentialAttachmentGraph(n, 8, rng);
+  PageRankOptions options;
+  options.tolerance = 1e-8;
+  for (auto _ : state) {
+    const PageRankResult r = ComputePageRank(g, options);
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PageRankPowerIteration)->Arg(10000)->Arg(100000)->Arg(300000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankThreads(benchmark::State& state) {
+  Rng rng(11);
+  const CsrGraph g = PreferentialAttachmentGraph(200000, 8, rng);
+  PageRankOptions options;
+  options.tolerance = 1e-8;
+  options.threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const PageRankResult r = ComputePageRank(g, options);
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+}
+BENCHMARK(BM_PageRankThreads)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankWarmStart(benchmark::State& state) {
+  Rng rng(13);
+  const CsrGraph g = PreferentialAttachmentGraph(100000, 8, rng);
+  PageRankOptions options;
+  options.tolerance = 1e-10;
+  const PageRankResult cold = ComputePageRank(g, options);
+  for (auto _ : state) {
+    const PageRankResult warm =
+        ComputePageRank(g, options, nullptr, &cold.scores);
+    benchmark::DoNotOptimize(warm.iterations);
+  }
+  state.SetLabel("iterations_cold=" + std::to_string(cold.iterations));
+}
+BENCHMARK(BM_PageRankWarmStart)->Unit(benchmark::kMillisecond);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  for (auto _ : state) {
+    const CsrGraph g = PreferentialAttachmentGraph(n, 4, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GraphGeneration)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InDegreePopularity(benchmark::State& state) {
+  Rng rng(19);
+  const CsrGraph g = PreferentialAttachmentGraph(200000, 8, rng);
+  for (auto _ : state) {
+    const std::vector<double> pop = InDegreePopularity(g);
+    benchmark::DoNotOptimize(pop.data());
+  }
+}
+BENCHMARK(BM_InDegreePopularity)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

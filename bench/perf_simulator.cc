@@ -1,0 +1,75 @@
+// Performance microbenchmarks for the simulators: agent-simulator day-step
+// cost across community sizes and visit regimes, plus full steady-state
+// solves of the mean-field model.
+
+#include <benchmark/benchmark.h>
+
+#include "core/community.h"
+#include "core/ranking_policy.h"
+#include "harness/presets.h"
+#include "sim/agent_sim.h"
+#include "sim/mean_field.h"
+
+namespace {
+
+using namespace randrank;
+
+SimOptions StepOptions(size_t ghosts = 0) {
+  SimOptions options;
+  options.warmup_days = 1;
+  options.measure_days = 1;
+  options.ghost_count = ghosts;
+  return options;
+}
+
+void BM_AgentSimStepDay(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  AgentSimulator sim(CommunityOfSize(n), RankPromotionConfig::Selective(0.1, 1),
+                     StepOptions());
+  for (int d = 0; d < 50; ++d) sim.StepDay(false);  // settle allocations
+  for (auto _ : state) {
+    sim.StepDay(false);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AgentSimStepDay)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AgentSimStepDayBatched(benchmark::State& state) {
+  // High-traffic community exercising the fluid visit path.
+  CommunityParams p = CommunityWithVisitRate(1e6);
+  AgentSimulator sim(p, RankPromotionConfig::Selective(0.1, 1), StepOptions());
+  for (int d = 0; d < 10; ++d) sim.StepDay(false);
+  for (auto _ : state) {
+    sim.StepDay(false);
+  }
+}
+BENCHMARK(BM_AgentSimStepDayBatched)->Unit(benchmark::kMicrosecond);
+
+void BM_AgentSimWithGhosts(benchmark::State& state) {
+  AgentSimulator sim(CommunityParams::Default(),
+                     RankPromotionConfig::Selective(0.1, 1),
+                     StepOptions(static_cast<size_t>(state.range(0))));
+  for (int d = 0; d < 20; ++d) sim.StepDay(false);
+  for (auto _ : state) {
+    sim.StepDay(true);
+  }
+}
+BENCHMARK(BM_AgentSimWithGhosts)->Arg(0)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MeanFieldSolve(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    MeanFieldModel model(CommunityOfSize(n),
+                         RankPromotionConfig::Selective(0.1, 1));
+    benchmark::DoNotOptimize(model.NormalizedQpc());
+  }
+}
+BENCHMARK(BM_MeanFieldSolve)->Arg(10000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Quickstart: simulate the paper's default Web community with and without
+// randomized rank promotion, and print the headline quality-per-click and
+// time-to-become-popular comparison.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [--fast]
+
+#include <cstring>
+#include <iostream>
+
+#include "core/community.h"
+#include "core/ranking_policy.h"
+#include "harness/presets.h"
+#include "sim/agent_sim.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+
+  // The default community of paper Section 6.1: 10,000 pages, 1,000 users,
+  // 10% monitored, 1,000 visits/day, 1.5-year page lifetimes. --fast scales
+  // it down 5x for a quick demo.
+  CommunityParams community = CommunityParams::Default();
+  if (fast) community = ScaledDown(community, 5);
+
+  SimOptions options;
+  options.seed = 42;
+  options.ghost_count = 32;
+  options.ghost_quality = 0.4;
+  if (fast) {
+    options.warmup_days = 700;
+    options.measure_days = 250;
+    options.ghost_max_age = 1500;
+  }
+
+  std::cout << "randrank quickstart: community n=" << community.n
+            << " u=" << community.u << " m=" << community.m
+            << " visits/day=" << community.visits_per_day << "\n\n";
+
+  Table table({"ranking policy", "QPC (normalized)", "mean TBP (days)",
+               "TBP probes (done/censored)", "zero-awareness pages"});
+  for (const RankPromotionConfig& config :
+       {RankPromotionConfig::None(), RankPromotionConfig::Recommended(1),
+        RankPromotionConfig::Recommended(2)}) {
+    AgentSimulator sim(community, config, options);
+    const SimResult r = sim.Run();
+    table.Row()
+        .Cell(config.Label())
+        .Cell(r.normalized_qpc, 3)
+        .Cell(r.tbp_samples ? FormatFixed(r.mean_tbp, 1) : "n/a (censored)")
+        .Cell(std::to_string(r.tbp_samples) + "/" +
+              std::to_string(r.tbp_censored))
+        .Cell(r.mean_zero_awareness_pages, 1);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nThe paper's recommendation (Section 6.4): selective "
+               "promotion of zero-awareness\npages with 10% randomization "
+               "(k=1 or 2) raises amortized result quality while\n"
+               "discovering new high-quality pages far sooner.\n";
+  return 0;
+}

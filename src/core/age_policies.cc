@@ -1,0 +1,36 @@
+#include "core/age_policies.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace randrank {
+
+std::vector<double> AgeWeightedScoring::Score(
+    const std::vector<double>& popularity,
+    const std::vector<int64_t>& birth_day, int64_t today) const {
+  assert(popularity.size() == birth_day.size());
+  const double decay = std::log(2.0) / half_life_days;
+  std::vector<double> score(popularity.size());
+  for (size_t p = 0; p < popularity.size(); ++p) {
+    const auto age = static_cast<double>(today - birth_day[p]);
+    score[p] = popularity[p] + bonus * std::exp(-decay * (age < 0 ? 0 : age));
+  }
+  return score;
+}
+
+std::vector<double> DerivativeScoring::Score(
+    const std::vector<double>& popularity,
+    const std::vector<double>& previous_popularity) const {
+  assert(popularity.size() == previous_popularity.size());
+  std::vector<double> score(popularity.size());
+  for (size_t p = 0; p < popularity.size(); ++p) {
+    const double slope =
+        (popularity[p] - previous_popularity[p]) / window_days;
+    // Falling popularity (a page fading out) is not penalized below its
+    // current popularity: the estimator forecasts, it does not punish.
+    score[p] = popularity[p] + gamma * (slope > 0.0 ? slope : 0.0);
+  }
+  return score;
+}
+
+}  // namespace randrank

@@ -1,0 +1,55 @@
+#ifndef RANDRANK_CORE_AGE_POLICIES_H_
+#define RANDRANK_CORE_AGE_POLICIES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace randrank {
+
+/// Deterministic anti-entrenchment baselines from the paper's related work
+/// (Section 2): instead of randomizing ranks, they adjust the *score* a page
+/// is ranked by. Both are score transforms over (popularity, age, history);
+/// the simulator ranks by the transformed score with no promotion pool.
+///
+/// These exist so randomized rank promotion can be compared against the
+/// alternatives the paper cites ([3, 22]: age-based weighting; [6]:
+/// PageRank-derivative quality estimation).
+
+/// Age-weighted scoring (after Baeza-Yates et al. [3] / Yu et al. [22]):
+/// young pages get a decaying additive popularity subsidy,
+///   score = popularity + bonus * exp(-age / half_life_days * ln 2).
+/// The subsidy lends a new page the visibility of a moderately popular one
+/// until it can prove itself.
+struct AgeWeightedScoring {
+  /// Subsidy at age 0, in popularity units. The default lends a new page
+  /// the popularity of a middling established page in the default community.
+  double bonus = 0.02;
+  /// Age at which the subsidy halves.
+  double half_life_days = 60.0;
+
+  /// Scores for ranking (descending).
+  std::vector<double> Score(const std::vector<double>& popularity,
+                            const std::vector<int64_t>& birth_day,
+                            int64_t today) const;
+};
+
+/// Derivative-based quality estimation (after Cho, Roy & Adams [6]):
+/// quality is estimated from popularity and its growth rate,
+///   score = popularity + gamma * dP/dt,
+/// where dP/dt is a finite difference over `window_days`. A rising page is
+/// treated as if it had already realized part of its trajectory.
+struct DerivativeScoring {
+  /// Days of future growth to credit (gamma).
+  double gamma = 90.0;
+  /// Finite-difference window.
+  double window_days = 14.0;
+
+  /// `previous_popularity` is popularity `window_days` ago (same indexing).
+  std::vector<double> Score(const std::vector<double>& popularity,
+                            const std::vector<double>& previous_popularity)
+      const;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_CORE_AGE_POLICIES_H_

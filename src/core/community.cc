@@ -1,0 +1,41 @@
+#include "core/community.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/distributions.h"
+
+namespace randrank {
+
+CommunityParams CommunityParams::Default() { return CommunityParams{}; }
+
+bool CommunityParams::Valid() const {
+  return n > 0 && u > 0 && m > 0 && m <= u && visits_per_day > 0.0 &&
+         lifetime_days > 0.0 && quality_exponent > 1.0 && max_quality > 0.0 &&
+         max_quality <= 1.0 && rank_bias_exponent > 1.0;
+}
+
+std::vector<double> CommunityParams::QualityValues() const {
+  return PowerLawQuantiles(quality_exponent, max_quality).Values(n);
+}
+
+double QpcOfRanking(const std::vector<double>& qualities_by_rank,
+                    double rank_bias_exponent) {
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < qualities_by_rank.size(); ++i) {
+    const double visits =
+        std::pow(static_cast<double>(i + 1), -rank_bias_exponent);
+    num += visits * qualities_by_rank[i];
+    den += visits;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double IdealQpc(const CommunityParams& params) {
+  assert(params.Valid());
+  // QualityValues() is already descending, i.e., the ideal ranking.
+  return QpcOfRanking(params.QualityValues(), params.rank_bias_exponent);
+}
+
+}  // namespace randrank

@@ -1,0 +1,118 @@
+#include "core/rank_merge.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace randrank {
+
+Ranker::Ranker(RankPromotionConfig config) : config_(config) {
+  assert(config_.Valid());
+}
+
+void Ranker::Update(const std::vector<double>& popularity,
+                    const std::vector<uint8_t>& zero_awareness,
+                    const std::vector<int64_t>& birth_step, Rng& rng) {
+  const size_t n = popularity.size();
+  assert(zero_awareness.size() == n);
+  assert(birth_step.size() == n);
+
+  det_.clear();
+  pool_.clear();
+  det_.reserve(n);
+  switch (config_.rule) {
+    case PromotionRule::kNone:
+      for (uint32_t p = 0; p < n; ++p) det_.push_back(p);
+      break;
+    case PromotionRule::kUniform:
+      for (uint32_t p = 0; p < n; ++p) {
+        (rng.NextBernoulli(config_.r) ? pool_ : det_).push_back(p);
+      }
+      break;
+    case PromotionRule::kSelective:
+      for (uint32_t p = 0; p < n; ++p) {
+        (zero_awareness[p] ? pool_ : det_).push_back(p);
+      }
+      break;
+  }
+
+  std::sort(det_.begin(), det_.end(), [&](uint32_t a, uint32_t b) {
+    if (popularity[a] != popularity[b]) return popularity[a] > popularity[b];
+    if (birth_step[a] != birth_step[b]) return birth_step[a] < birth_step[b];
+    return a < b;
+  });
+}
+
+std::vector<uint32_t> Ranker::MaterializeList(Rng& rng) const {
+  return MaterializeWithPositions(rng, nullptr, nullptr);
+}
+
+std::vector<uint32_t> Ranker::MaterializeWithPositions(
+    Rng& rng, std::vector<uint32_t>* det_positions,
+    std::vector<uint32_t>* pool_positions) const {
+  std::vector<uint32_t> shuffled_pool = pool_;
+  for (size_t i = shuffled_pool.size(); i > 1; --i) {
+    std::swap(shuffled_pool[i - 1], shuffled_pool[rng.NextIndex(i)]);
+  }
+  if (det_positions) det_positions->resize(det_.size());
+  if (pool_positions) pool_positions->resize(pool_.size());
+
+  std::vector<uint32_t> out;
+  out.reserve(n());
+  const size_t protected_prefix = std::min(config_.k - 1, det_.size());
+  size_t d = 0;
+  size_t s = 0;
+  auto place = [&](bool from_pool) {
+    const auto pos = static_cast<uint32_t>(out.size());
+    if (from_pool) {
+      if (pool_positions) (*pool_positions)[s] = pos;
+      out.push_back(shuffled_pool[s++]);
+    } else {
+      if (det_positions) (*det_positions)[d] = pos;
+      out.push_back(det_[d++]);
+    }
+  };
+  while (d < protected_prefix) place(false);
+  while (d < det_.size() || s < shuffled_pool.size()) {
+    bool from_pool;
+    if (s >= shuffled_pool.size()) {
+      from_pool = false;
+    } else if (d >= det_.size()) {
+      from_pool = true;
+    } else {
+      from_pool = rng.NextBernoulli(config_.r);
+    }
+    place(from_pool);
+  }
+  return out;
+}
+
+uint32_t Ranker::PageAtRank(size_t rank, Rng& rng) const {
+  assert(rank >= 1 && rank <= n());
+  const size_t protected_prefix = std::min(config_.k - 1, det_.size());
+  if (rank <= protected_prefix) return det_[rank - 1];
+  if (pool_.empty()) return det_[rank - 1];
+
+  size_t d = protected_prefix;  // det entries consumed
+  size_t s = 0;                 // pool entries consumed
+  for (size_t pos = protected_prefix + 1; pos <= rank; ++pos) {
+    bool from_pool;
+    if (s >= pool_.size()) {
+      from_pool = false;
+    } else if (d >= det_.size()) {
+      from_pool = true;
+    } else {
+      from_pool = rng.NextBernoulli(config_.r);
+    }
+    if (pos == rank) {
+      // The s-th element of a uniformly shuffled pool is marginally uniform
+      // over the pool, so a single-slot resolution may draw uniformly.
+      return from_pool ? pool_[rng.NextIndex(pool_.size())] : det_[d];
+    }
+    from_pool ? ++s : ++d;
+  }
+  assert(false && "unreachable");
+  return 0;
+}
+
+}  // namespace randrank

@@ -1,0 +1,72 @@
+#ifndef RANDRANK_CORE_RANK_MERGE_H_
+#define RANDRANK_CORE_RANK_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ranking_policy.h"
+#include "util/rng.h"
+
+namespace randrank {
+
+/// Executes the paper's ranking pipeline for one time step (Section 4):
+///
+///  1. Split pages into the promotion pool Pp (per the configured rule) and
+///     the rest, which forms the deterministic list Ld sorted by descending
+///     popularity (ties broken by age, older first, as in Appendix A).
+///  2. Produce result lists: either a full materialized permutation (the
+///     shuffled pool merged into Ld with per-slot probability r after the
+///     protected top k-1), or a lazy per-visit resolution of "which page sits
+///     at rank j in a fresh random realization" in O(j) time.
+///
+/// The lazy path exploits two facts: positions are filled left-to-right by
+/// independent biased coins, and the s-th element of a uniformly shuffled
+/// pool is marginally uniform over the pool. Rank-biased visits concentrate
+/// on small j (E[j] ~ 0.77*sqrt(n)), so resolving one visit is far cheaper
+/// than materializing all n slots.
+class Ranker {
+ public:
+  explicit Ranker(RankPromotionConfig config);
+
+  /// Recomputes pool membership and the deterministic order from current
+  /// page state. `popularity[p]` in [0,1]; `zero_awareness[p]` nonzero when
+  /// no monitored user has visited p; `birth_step[p]` breaks popularity ties
+  /// (smaller = older = ranked better). The uniform rule re-samples pool
+  /// membership on every call.
+  void Update(const std::vector<double>& popularity,
+              const std::vector<uint8_t>& zero_awareness,
+              const std::vector<int64_t>& birth_step, Rng& rng);
+
+  /// One realization of the merged result list: a permutation of all pages,
+  /// best rank first.
+  std::vector<uint32_t> MaterializeList(Rng& rng) const;
+
+  /// Like MaterializeList, but also reports where each deterministic-list
+  /// index and each pool slot landed: `det_positions[j]` is the 0-based list
+  /// position of deterministic_order()[j]; `pool_positions[s]` the position
+  /// of the s-th slot of the shuffled pool. Used by the simulator to place
+  /// probe ("ghost") pages into a realized list without rebuilding it.
+  std::vector<uint32_t> MaterializeWithPositions(
+      Rng& rng, std::vector<uint32_t>* det_positions,
+      std::vector<uint32_t>* pool_positions) const;
+
+  /// Resolves the page occupying `rank` (1-based) in an independent random
+  /// realization of the merged list, without building the list.
+  uint32_t PageAtRank(size_t rank, Rng& rng) const;
+
+  /// Deterministically ranked pages (Ld), best first.
+  const std::vector<uint32_t>& deterministic_order() const { return det_; }
+  /// Promotion pool Pp (unshuffled).
+  const std::vector<uint32_t>& pool() const { return pool_; }
+  const RankPromotionConfig& config() const { return config_; }
+  size_t n() const { return det_.size() + pool_.size(); }
+
+ private:
+  RankPromotionConfig config_;
+  std::vector<uint32_t> det_;
+  std::vector<uint32_t> pool_;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_CORE_RANK_MERGE_H_

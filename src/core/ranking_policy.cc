@@ -1,0 +1,49 @@
+#include "core/ranking_policy.h"
+
+#include <cstdio>
+
+namespace randrank {
+
+RankPromotionConfig RankPromotionConfig::None() {
+  return {PromotionRule::kNone, 0.0, 1};
+}
+
+RankPromotionConfig RankPromotionConfig::Uniform(double r, size_t k) {
+  return {PromotionRule::kUniform, r, k};
+}
+
+RankPromotionConfig RankPromotionConfig::Selective(double r, size_t k) {
+  return {PromotionRule::kSelective, r, k};
+}
+
+RankPromotionConfig RankPromotionConfig::Recommended(size_t k) {
+  return Selective(0.1, k);
+}
+
+RankPromotionConfig RankPromotionConfig::FixedPosition(size_t position) {
+  return Selective(1.0, position);
+}
+
+bool RankPromotionConfig::Valid() const {
+  if (k < 1) return false;
+  if (r < 0.0 || r > 1.0) return false;
+  if (rule == PromotionRule::kNone) return r == 0.0;
+  return true;
+}
+
+std::string RankPromotionConfig::Label() const {
+  char buf[64];
+  switch (rule) {
+    case PromotionRule::kNone:
+      return "none";
+    case PromotionRule::kUniform:
+      std::snprintf(buf, sizeof(buf), "uniform(r=%.2f,k=%zu)", r, k);
+      return buf;
+    case PromotionRule::kSelective:
+      std::snprintf(buf, sizeof(buf), "selective(r=%.2f,k=%zu)", r, k);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace randrank

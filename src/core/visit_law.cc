@@ -1,0 +1,24 @@
+#include "core/visit_law.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace randrank {
+
+VisitLaw::VisitLaw(size_t n, double visits_per_step, double exponent)
+    : sampler_(n, exponent),
+      visits_per_step_(visits_per_step),
+      exponent_(exponent) {
+  assert(visits_per_step > 0.0);
+  // RankBiasSampler::theta() is the unit normalization 1/sum(i^-e); scale it
+  // so that sum_rank ExpectedVisits(rank) == visits_per_step.
+  theta_ = visits_per_step_ * sampler_.theta();
+}
+
+double VisitLaw::ExpectedVisits(size_t rank) const {
+  assert(rank >= 1);
+  if (rank > sampler_.n()) return 0.0;
+  return theta_ * std::pow(static_cast<double>(rank), -exponent_);
+}
+
+}  // namespace randrank

@@ -1,0 +1,45 @@
+#ifndef RANDRANK_CORE_VISIT_LAW_H_
+#define RANDRANK_CORE_VISIT_LAW_H_
+
+#include <cstddef>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace randrank {
+
+/// The rank->visit-rate relationship F2 of paper Eq. 4:
+///   F2(rank) = theta * rank^(-3/2),  theta = v / sum_{i=1..n} i^(-3/2),
+/// where v is the number of (monitored) visits per unit time. Wraps both the
+/// expected-visit evaluation used by the analytical model and the rank
+/// sampler used by the Monte Carlo simulator.
+class VisitLaw {
+ public:
+  /// `n` result-list length, `visits_per_step` total visits v distributed per
+  /// unit time, `exponent` the bias exponent (paper: 3/2).
+  VisitLaw(size_t n, double visits_per_step, double exponent = 1.5);
+
+  /// Expected visits per unit time to the page at `rank` (1-based).
+  double ExpectedVisits(size_t rank) const;
+
+  /// Draws the rank position receiving one visit.
+  size_t SampleRank(Rng& rng) const { return sampler_.Sample(rng); }
+
+  /// Probability a single visit lands on `rank`.
+  double RankProbability(size_t rank) const { return sampler_.Pmf(rank); }
+
+  double visits_per_step() const { return visits_per_step_; }
+  double theta() const { return theta_; }
+  size_t n() const { return sampler_.n(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  RankBiasSampler sampler_;
+  double visits_per_step_;
+  double theta_;  // visits_per_step-scaled normalization
+  double exponent_;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_CORE_VISIT_LAW_H_

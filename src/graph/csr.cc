@@ -1,0 +1,62 @@
+#include "graph/csr.h"
+
+#include <cassert>
+
+namespace randrank {
+
+CsrGraph CsrGraph::FromEdges(
+    size_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  CsrGraph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  size_t kept = 0;
+  for (const auto& [u, v] : edges) {
+    assert(u < num_nodes && v < num_nodes);
+    if (u == v) continue;
+    ++g.offsets_[u + 1];
+    ++kept;
+  }
+  for (size_t i = 1; i <= num_nodes; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.targets_.resize(kept);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    g.targets_[cursor[u]++] = v;
+  }
+  return g;
+}
+
+std::span<const uint32_t> CsrGraph::OutNeighbors(uint32_t u) const {
+  assert(u < num_nodes());
+  return {targets_.data() + offsets_[u],
+          static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+}
+
+size_t CsrGraph::OutDegree(uint32_t u) const {
+  assert(u < num_nodes());
+  return offsets_[u + 1] - offsets_[u];
+}
+
+std::vector<uint32_t> CsrGraph::InDegrees() const {
+  std::vector<uint32_t> in(num_nodes(), 0);
+  for (const uint32_t v : targets_) ++in[v];
+  return in;
+}
+
+CsrGraph CsrGraph::Transpose() const {
+  CsrGraph t;
+  const size_t n = num_nodes();
+  t.offsets_.assign(n + 1, 0);
+  for (const uint32_t v : targets_) ++t.offsets_[v + 1];
+  for (size_t i = 1; i <= n; ++i) t.offsets_[i] += t.offsets_[i - 1];
+  t.targets_.resize(targets_.size());
+  std::vector<uint64_t> cursor(t.offsets_.begin(), t.offsets_.end() - 1);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (const uint32_t v : OutNeighbors(u)) {
+      t.targets_[cursor[v]++] = u;
+    }
+  }
+  return t;
+}
+
+}  // namespace randrank

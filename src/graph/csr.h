@@ -1,0 +1,43 @@
+#ifndef RANDRANK_GRAPH_CSR_H_
+#define RANDRANK_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace randrank {
+
+/// Immutable directed graph in compressed-sparse-row form. The Web-graph
+/// substrate for PageRank-based popularity: nodes are pages, edges are
+/// hyperlinks.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list (u -> v). Duplicate edges are kept (parallel
+  /// links are meaningful for link-accrual models); self-loops are dropped.
+  static CsrGraph FromEdges(
+      size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return targets_.size(); }
+
+  /// Out-neighbors of node u.
+  std::span<const uint32_t> OutNeighbors(uint32_t u) const;
+  size_t OutDegree(uint32_t u) const;
+
+  /// In-degree of every node (one pass over all edges).
+  std::vector<uint32_t> InDegrees() const;
+
+  /// Edge-reversed copy (used for pull-style PageRank).
+  CsrGraph Transpose() const;
+
+ private:
+  std::vector<uint64_t> offsets_;  // size num_nodes + 1
+  std::vector<uint32_t> targets_;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_GRAPH_CSR_H_

@@ -1,0 +1,88 @@
+#include "graph/evolution.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace randrank {
+
+EvolvingWebGraph::EvolvingWebGraph(const Options& options, Rng& rng)
+    : options_(options) {
+  assert(options_.num_nodes >= 2);
+  out_.resize(options_.num_nodes);
+  in_degree_.assign(options_.num_nodes, 0);
+  birth_step_.assign(options_.num_nodes, 0);
+  for (uint32_t u = 0; u < options_.num_nodes; ++u) {
+    for (size_t e = 0; e < options_.initial_links_per_node; ++e) {
+      const auto v =
+          static_cast<uint32_t>(rng.NextIndex(options_.num_nodes));
+      if (v == u) continue;
+      out_[u].push_back(v);
+      ++in_degree_[v];
+      ++edge_count_;
+    }
+  }
+}
+
+void EvolvingWebGraph::RetirePage(uint32_t page) {
+  for (const uint32_t v : out_[page]) {
+    --in_degree_[v];
+    --edge_count_;
+  }
+  out_[page].clear();
+  // Inbound links to a retired page dangle in reality; we drop them so the
+  // fresh page starts with zero in-degree, matching the popularity model's
+  // "new page of equal quality with zero awareness".
+  for (auto& links : out_) {
+    const size_t before = links.size();
+    links.erase(std::remove(links.begin(), links.end(), page), links.end());
+    edge_count_ -= before - links.size();
+  }
+  in_degree_[page] = 0;
+  birth_step_[page] = step_;
+}
+
+void EvolvingWebGraph::Step(const std::vector<double>& visit_share, Rng& rng) {
+  assert(visit_share.size() == out_.size());
+  const size_t n = out_.size();
+
+  const uint64_t deaths = rng.NextPoisson(options_.retire_rate *
+                                          static_cast<double>(n));
+  for (uint64_t d = 0; d < deaths; ++d) {
+    RetirePage(static_cast<uint32_t>(rng.NextIndex(n)));
+  }
+
+  std::vector<double> prefix(n);
+  double acc = 0.0;
+  for (size_t p = 0; p < n; ++p) {
+    acc += std::max(0.0, visit_share[p]);
+    prefix[p] = acc;
+  }
+
+  for (size_t l = 0; l < options_.links_per_step; ++l) {
+    const auto source = static_cast<uint32_t>(rng.NextIndex(n));
+    uint32_t target;
+    if (acc <= 0.0) {
+      target = static_cast<uint32_t>(rng.NextIndex(n));
+    } else {
+      const double u = rng.NextDouble() * acc;
+      target = static_cast<uint32_t>(
+          std::lower_bound(prefix.begin(), prefix.end(), u) - prefix.begin());
+    }
+    if (target == source) continue;
+    out_[source].push_back(target);
+    ++in_degree_[target];
+    ++edge_count_;
+  }
+  ++step_;
+}
+
+CsrGraph EvolvingWebGraph::Snapshot() const {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(edge_count_);
+  for (uint32_t u = 0; u < out_.size(); ++u) {
+    for (const uint32_t v : out_[u]) edges.emplace_back(u, v);
+  }
+  return CsrGraph::FromEdges(out_.size(), edges);
+}
+
+}  // namespace randrank

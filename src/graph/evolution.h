@@ -1,0 +1,60 @@
+#ifndef RANDRANK_GRAPH_EVOLUTION_H_
+#define RANDRANK_GRAPH_EVOLUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace randrank {
+
+/// Search-dominant Web-graph evolution (after Cho & Roy [5]): each step,
+/// `links_per_step` new hyperlinks are created; each link's source is a
+/// uniform random page and its target is drawn from a caller-supplied visit
+/// distribution (pages acquire in-links in proportion to the attention they
+/// receive). Pages retire at `retire_rate` per step and return fresh with no
+/// links. This substrate grounds the entrenchment story on an actual link
+/// graph: the caller closes the loop by ranking on PageRank/in-degree and
+/// feeding the induced visit shares back in.
+class EvolvingWebGraph {
+ public:
+  struct Options {
+    size_t num_nodes = 10000;
+    size_t links_per_step = 100;
+    /// Per-page retirement probability per step.
+    double retire_rate = 1.0 / 547.5;
+    /// Seed links per page at construction (uniform targets).
+    size_t initial_links_per_node = 2;
+  };
+
+  EvolvingWebGraph(const Options& options, Rng& rng);
+
+  /// Advances one step. `visit_share[p]` is the probability a new link
+  /// targets page p (must sum to ~1; renormalized defensively).
+  void Step(const std::vector<double>& visit_share, Rng& rng);
+
+  /// Snapshot as CSR for PageRank computation.
+  CsrGraph Snapshot() const;
+
+  const std::vector<uint32_t>& in_degrees() const { return in_degree_; }
+  size_t num_nodes() const { return out_.size(); }
+  size_t num_edges() const { return edge_count_; }
+  /// Step at which each page was (re)born.
+  const std::vector<int64_t>& birth_step() const { return birth_step_; }
+  int64_t step() const { return step_; }
+
+ private:
+  void RetirePage(uint32_t page);
+
+  Options options_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<uint32_t> in_degree_;
+  std::vector<int64_t> birth_step_;
+  size_t edge_count_ = 0;
+  int64_t step_ = 0;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_GRAPH_EVOLUTION_H_

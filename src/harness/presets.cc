@@ -1,0 +1,55 @@
+#include "harness/presets.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace randrank {
+
+CommunityParams CommunityOfSize(size_t n) {
+  assert(n >= 100);
+  CommunityParams p = CommunityParams::Default();
+  p.n = n;
+  p.u = std::max<size_t>(10, n / 10);
+  p.m = std::max<size_t>(1, p.u / 10);
+  p.visits_per_day = static_cast<double>(p.u);  // vu/u = 1
+  return p;
+}
+
+CommunityParams CommunityWithLifetimeYears(double years) {
+  assert(years > 0.0);
+  CommunityParams p = CommunityParams::Default();
+  p.lifetime_days = years * 365.0;
+  return p;
+}
+
+CommunityParams CommunityWithVisitRate(double visits_per_day) {
+  assert(visits_per_day >= 1.0);
+  CommunityParams p = CommunityParams::Default();
+  p.visits_per_day = visits_per_day;
+  p.u = std::max<size_t>(10, static_cast<size_t>(visits_per_day));  // vu/u = 1
+  p.m = std::max<size_t>(1, p.u / 10);
+  return p;
+}
+
+CommunityParams CommunityWithUsers(size_t users) {
+  assert(users >= 10);
+  CommunityParams p = CommunityParams::Default();
+  p.u = users;
+  p.m = std::max<size_t>(1, users / 10);
+  // Total visit budget stays fixed at the default 1000/day (paper Sec 7.4).
+  return p;
+}
+
+CommunityParams ScaledDown(const CommunityParams& params, size_t factor) {
+  assert(factor >= 1);
+  CommunityParams p = params;
+  p.n = std::max<size_t>(100, params.n / factor);
+  p.u = std::max<size_t>(10, params.u / factor);
+  p.m = std::max<size_t>(2, params.m / factor);
+  p.m = std::min(p.m, p.u);
+  p.visits_per_day =
+      std::max(1.0, params.visits_per_day / static_cast<double>(factor));
+  return p;
+}
+
+}  // namespace randrank

@@ -1,0 +1,34 @@
+#ifndef RANDRANK_HARNESS_PRESETS_H_
+#define RANDRANK_HARNESS_PRESETS_H_
+
+#include <cstddef>
+
+#include "core/community.h"
+
+namespace randrank {
+
+/// Community presets for the robustness sweeps of Section 7. Each varies one
+/// dimension while holding the paper's stated ratios fixed.
+
+/// Fig. 7a: community of n pages with u/n = 10%, m/u = 10%, one visit per
+/// user per day.
+CommunityParams CommunityOfSize(size_t n);
+
+/// Fig. 7b: default community with the given expected page lifetime (years).
+CommunityParams CommunityWithLifetimeYears(double years);
+
+/// Fig. 7c: default community scaled to the given total visits/day with
+/// vu/u = 1 and m/u = 10% (users scale with the visit rate).
+CommunityParams CommunityWithVisitRate(double visits_per_day);
+
+/// Fig. 7d: default pages and total visit budget (1000/day) spread over the
+/// given user-population size, m/u = 10%.
+CommunityParams CommunityWithUsers(size_t users);
+
+/// Scale-reduced clone of a community for fast test runs: divides n, u, m
+/// and visits by `factor`, keeping ratios (min community floors applied).
+CommunityParams ScaledDown(const CommunityParams& params, size_t factor);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_HARNESS_PRESETS_H_

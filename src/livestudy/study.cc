@@ -1,0 +1,51 @@
+#include "livestudy/study.h"
+
+#include "util/rng.h"
+
+namespace randrank {
+
+LiveStudyResult RunLiveStudy(const LiveStudyParams& params) {
+  Rng schedule_rng(params.seed);
+  const ItemSchedule schedule =
+      ItemSchedule::Make(params.items, params.item_lifetime_days,
+                         params.funniness_exponent, params.max_funniness,
+                         schedule_rng);
+
+  JokeSiteGroup::Options group_options;
+  group_options.users = params.total_users / 2;
+  group_options.views_per_user_day = params.views_per_user_day;
+  group_options.vote_probability = params.vote_probability;
+
+  group_options.seed = params.seed * 2 + 1;
+  JokeSiteGroup control(schedule, RankPromotionConfig::None(), group_options);
+
+  group_options.seed = params.seed * 2 + 2;
+  JokeSiteGroup promoted(
+      schedule, RankPromotionConfig::FixedPosition(params.promote_below),
+      group_options);
+
+  for (size_t d = 0; d < params.days; ++d) {
+    control.StepDay();
+    promoted.StepDay();
+  }
+
+  const size_t from_day = params.days > params.measure_last_days
+                              ? params.days - params.measure_last_days
+                              : 0;
+  LiveStudyResult result;
+  result.control_votes = control.total_votes_since(from_day);
+  result.promoted_votes = promoted.total_votes_since(from_day);
+  if (result.control_votes > 0) {
+    result.control_ratio =
+        static_cast<double>(control.funny_votes_since(from_day)) /
+        static_cast<double>(result.control_votes);
+  }
+  if (result.promoted_votes > 0) {
+    result.promoted_ratio =
+        static_cast<double>(promoted.funny_votes_since(from_day)) /
+        static_cast<double>(result.promoted_votes);
+  }
+  return result;
+}
+
+}  // namespace randrank

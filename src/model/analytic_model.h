@@ -1,0 +1,108 @@
+#ifndef RANDRANK_MODEL_ANALYTIC_MODEL_H_
+#define RANDRANK_MODEL_ANALYTIC_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/community.h"
+#include "core/ranking_policy.h"
+#include "model/quality_classes.h"
+#include "model/rank_maps.h"
+#include "model/visit_curve.h"
+
+namespace randrank {
+
+/// Tuning knobs for the steady-state fixed-point solver (Section 5.3).
+struct AnalyticOptions {
+  /// Quality classes cap; n <= cap keeps one class per page.
+  size_t max_classes = 2048;
+  /// Awareness-chain levels cap (the chain runs over the u-user population;
+  /// communities with u above this are coarsened, level 0 kept exact).
+  size_t awareness_levels = 512;
+  /// Log-spaced popularity grid size used to refit F each iteration.
+  size_t grid_points = 64;
+  size_t max_iterations = 120;
+  /// Convergence threshold on sup |delta log F| over the grid.
+  double tolerance = 5e-4;
+  /// Fraction of the new estimate blended in per iteration (log space).
+  /// The z <-> F(0) feedback is stiff near the discovery knee; conservative
+  /// blending avoids limit cycles.
+  double damping = 0.35;
+  /// Pool discovery regime: false models one ranked-list realization per
+  /// day (the engineering default of the agent simulator; discoveries
+  /// saturate at one per slot per day); true models a fresh merge per query
+  /// (the paper's Section 4 wording; no saturation).
+  bool per_query_lists = false;
+};
+
+/// Converged steady state: per-class awareness distributions coupled with the
+/// fitted popularity->visit-rate curve.
+struct SteadyState {
+  QualityClasses classes;
+  /// awareness[c][i]: fraction of class-c pages at awareness i/m.
+  std::vector<std::vector<double>> awareness;
+  VisitRateCurve F;
+  /// Expected number of zero-awareness pages.
+  double z = 0.0;
+  size_t iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Analytical model of Web-page popularity evolution under (randomized)
+/// ranking (paper Section 5). Solves the circular dependence between the
+/// awareness distribution (Theorem 1) and the popularity->visit-rate
+/// function F = F2 o F1 by fixed-point iteration, fitting F to the paper's
+/// quadratic-in-log-log form each round.
+///
+/// Population semantics: awareness dynamics run over the full user
+/// population (u users, vu visits/day); the monitored sample is treated as a
+/// representative estimator, per Section 3.1 and the Appendix A pool rule.
+/// See DESIGN.md ("population semantics") for the mass-conservation argument
+/// behind this reading.
+///
+/// The paper's analysis targets small r ("only intended to be accurate for
+/// small values of r"); the same caveat applies here. Use the simulators for
+/// large r or k.
+class AnalyticModel {
+ public:
+  AnalyticModel(const CommunityParams& params,
+                const RankPromotionConfig& config,
+                const AnalyticOptions& options = {});
+
+  /// Runs (or returns the cached) fixed point.
+  const SteadyState& Solve();
+
+  /// Absolute quality-per-click (Section 5.2 formula).
+  double Qpc();
+
+  /// QPC normalized by the ideal quality-ordered ranking (= 1.0 bound).
+  double NormalizedQpc();
+
+  /// Expected days for a quality-q page to exceed `threshold` awareness
+  /// (TBP for threshold 0.99).
+  double Tbp(double quality, double threshold = 0.99);
+
+  /// Steady-state awareness distribution of pages with quality nearest q
+  /// (Fig. 3 series). Size m+1.
+  std::vector<double> AwarenessDistributionFor(double quality);
+
+  /// Expected popularity trajectory P(t) = a(t)*q of a fresh page, per day
+  /// (Fig. 2 / Fig. 4a series). Size days+1.
+  std::vector<double> PopularityTrajectory(double quality, size_t days);
+
+  const CommunityParams& params() const { return params_; }
+  const RankPromotionConfig& config() const { return config_; }
+
+ private:
+  CommunityParams params_;
+  RankPromotionConfig config_;
+  AnalyticOptions options_;
+  ContinuousF2 f2_;
+  SteadyState state_;
+  bool solved_ = false;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_MODEL_ANALYTIC_MODEL_H_

@@ -1,0 +1,156 @@
+#include "model/awareness.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace randrank {
+
+std::vector<double> AwarenessDistribution(double q, size_t population,
+                                          double lambda, const VisitRateFn& F,
+                                          size_t levels) {
+  assert(population > 0);
+  assert(lambda > 0.0);
+  if (levels == 0 || levels > population) levels = population;
+  const auto pop = static_cast<double>(population);
+  const double macro =
+      static_cast<double>(levels) / pop;  // level-width scaling
+
+  std::vector<double> f(levels + 1, 0.0);
+  // Work in log space: per-level ratios can be far below 1 for entrenched
+  // communities and the raw product underflows double range.
+  double log_fi = std::log(lambda) - std::log(lambda + F(0.0));
+  f[0] = std::exp(log_fi);
+  // Leaving level 0 takes one visit (discovery); interior macro-levels take
+  // population/levels conversions each.
+  double beta_prev = F(0.0);
+  for (size_t j = 1; j <= levels; ++j) {
+    const double aj = static_cast<double>(j) / static_cast<double>(levels);
+    double beta_j = F(q * aj) * (1.0 - aj);
+    if (levels < population) beta_j *= macro;
+    log_fi += std::log(beta_prev) - std::log(lambda + beta_j);
+    f[j] = std::exp(log_fi);
+    beta_prev = beta_j;
+  }
+  // Exact chains sum to 1 analytically; coarse chains approximately.
+  // Normalize to absorb rounding either way.
+  double total = 0.0;
+  for (const double x : f) total += x;
+  if (total > 0.0) {
+    for (double& x : f) x /= total;
+  }
+  return f;
+}
+
+std::vector<double> AwarenessDistributionPaperLiteral(double q,
+                                                      size_t population,
+                                                      double lambda,
+                                                      const VisitRateFn& F) {
+  assert(population > 0);
+  assert(lambda > 0.0);
+  std::vector<double> f(population + 1, 0.0);
+  double log_prod = 0.0;
+  for (size_t i = 0; i < population; ++i) {  // i = population diverges
+    const double ai =
+        static_cast<double>(i) / static_cast<double>(population);
+    if (i > 0) {
+      const double a_prev =
+          static_cast<double>(i - 1) / static_cast<double>(population);
+      log_prod += std::log(F(q * a_prev)) - std::log(lambda + F(q * ai));
+    }
+    f[i] = std::exp(std::log(lambda) - std::log(lambda + F(0.0)) -
+                    std::log(1.0 - ai) + log_prod);
+  }
+  double total = 0.0;
+  for (const double x : f) total += x;
+  if (total > 0.0) {
+    for (double& x : f) x /= total;
+  }
+  return f;
+}
+
+double ExpectedTimeToAwareness(double q, size_t population,
+                               const VisitRateFn& F, double threshold) {
+  assert(threshold > 0.0 && threshold <= 1.0);
+  const auto target = static_cast<size_t>(
+      std::ceil(threshold * static_cast<double>(population)));
+  double time = 0.0;
+  for (size_t i = 0; i < target; ++i) {
+    const double ai =
+        static_cast<double>(i) / static_cast<double>(population);
+    const double beta_i = F(q * ai) * (1.0 - ai);
+    if (beta_i <= 0.0) return std::numeric_limits<double>::infinity();
+    time += 1.0 / beta_i;
+  }
+  return time;
+}
+
+std::vector<double> AwarenessTransient(double q, size_t population,
+                                       const VisitRateFn& F, size_t days,
+                                       size_t levels) {
+  assert(population > 0);
+  if (levels == 0 || levels > population) {
+    levels = std::min<size_t>(population, 512);
+  }
+  const auto pop = static_cast<double>(population);
+  const double macro = static_cast<double>(levels) / pop;
+
+  // Transition rates; level 0 exits on a single visit.
+  std::vector<double> beta(levels + 1, 0.0);
+  std::vector<double> a(levels + 1, 0.0);
+  double max_rate = 0.0;
+  for (size_t j = 0; j <= levels; ++j) {
+    a[j] = static_cast<double>(j) / static_cast<double>(levels);
+    if (j == 0) {
+      beta[j] = F(0.0);
+    } else if (j < levels) {
+      beta[j] = F(q * a[j]) * (1.0 - a[j]);
+      if (levels < population) beta[j] *= macro;
+    }
+    max_rate = std::max(max_rate, beta[j]);
+  }
+  const double dt = std::min(1.0, 0.9 / std::max(max_rate, 1e-12));
+
+  std::vector<double> p(levels + 1, 0.0);
+  p[0] = 1.0;
+  std::vector<double> mean(days + 1, 0.0);
+  double t = 0.0;
+  for (size_t day = 1; day <= days; ++day) {
+    const auto day_end = static_cast<double>(day);
+    while (t < day_end) {
+      const double step = std::min(dt, day_end - t);
+      double inflow = 0.0;
+      for (size_t j = 0; j <= levels; ++j) {
+        const double outflow = beta[j] * p[j] * step;
+        p[j] += inflow - outflow;
+        inflow = outflow;
+      }
+      t += step;
+    }
+    double acc = 0.0;
+    for (size_t j = 1; j <= levels; ++j) acc += p[j] * a[j];
+    mean[day] = acc;
+  }
+  return mean;
+}
+
+std::vector<double> AwarenessTrajectory(double q, size_t population,
+                                        const VisitRateFn& F, size_t days) {
+  std::vector<double> a(days + 1, 0.0);
+  const double inv_pop = 1.0 / static_cast<double>(population);
+  // Sub-day Euler steps keep the trajectory stable when F is large
+  // (heavily promoted pages can gain many aware users per day).
+  constexpr int kSubSteps = 8;
+  const double dt = 1.0 / kSubSteps;
+  double cur = 0.0;
+  for (size_t day = 1; day <= days; ++day) {
+    for (int s = 0; s < kSubSteps; ++s) {
+      const double rate = F(q * cur) * (1.0 - cur) * inv_pop;
+      cur = std::min(1.0, cur + rate * dt);
+    }
+    a[day] = cur;
+  }
+  return a;
+}
+
+}  // namespace randrank

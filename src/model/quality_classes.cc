@@ -1,0 +1,67 @@
+#include "model/quality_classes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/distributions.h"
+
+namespace randrank {
+
+double QualityClasses::total_pages() const {
+  return std::accumulate(count.begin(), count.end(), 0.0);
+}
+
+size_t QualityClasses::NearestClass(double q) const {
+  assert(!value.empty());
+  size_t best = 0;
+  double best_gap = std::fabs(value[0] - q);
+  for (size_t c = 1; c < value.size(); ++c) {
+    const double gap = std::fabs(value[c] - q);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = c;
+    }
+  }
+  return best;
+}
+
+QualityClasses QualityClasses::FromCommunity(const CommunityParams& params,
+                                             size_t max_classes) {
+  assert(params.Valid());
+  assert(max_classes > 0);
+  const PowerLawQuantiles quantiles(params.quality_exponent,
+                                    params.max_quality);
+  QualityClasses out;
+  if (params.n <= max_classes) {
+    out.value = quantiles.Values(params.n);
+    out.count.assign(params.n, 1.0);
+    return out;
+  }
+
+  // Geometric rank buckets: bucket b spans ranks [g^b, g^{b+1}) with g chosen
+  // so that max_classes buckets cover all n ranks.
+  const double growth =
+      std::pow(static_cast<double>(params.n),
+               1.0 / static_cast<double>(max_classes));
+  size_t begin = 0;  // 0-based rank
+  double edge = 1.0;
+  while (begin < params.n) {
+    edge *= growth;
+    size_t end = std::max(begin + 1,
+                          static_cast<size_t>(std::llround(edge)) - 0);
+    end = std::min(end, params.n);
+    // Representative quality: geometric mean rank of the bucket.
+    const double mid_rank = std::sqrt(static_cast<double>(begin + 1) *
+                                      static_cast<double>(end));
+    const size_t mid_index = std::min(
+        params.n - 1, static_cast<size_t>(std::llround(mid_rank)) - 1);
+    out.value.push_back(quantiles.Value(mid_index, params.n));
+    out.count.push_back(static_cast<double>(end - begin));
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace randrank

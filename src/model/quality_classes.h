@@ -1,0 +1,35 @@
+#ifndef RANDRANK_MODEL_QUALITY_CLASSES_H_
+#define RANDRANK_MODEL_QUALITY_CLASSES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/community.h"
+
+namespace randrank {
+
+/// Pages bucketed by quality for the analytical model. With n pages the
+/// steady-state equations are identical for pages of equal quality, so the
+/// model's state is per-class, not per-page. When n exceeds `max_classes`
+/// the power-law quantiles are grouped geometrically by rank (head ranks get
+/// their own class; the long tail is pooled), which preserves the head of the
+/// distribution that dominates QPC.
+struct QualityClasses {
+  /// Representative quality per class, descending.
+  std::vector<double> value;
+  /// Page count per class (fractional counts allowed after grouping).
+  std::vector<double> count;
+
+  size_t size() const { return value.size(); }
+  double total_pages() const;
+
+  /// Index of the class whose quality is nearest to q.
+  size_t NearestClass(double q) const;
+
+  static QualityClasses FromCommunity(const CommunityParams& params,
+                                      size_t max_classes = 4096);
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_MODEL_QUALITY_CLASSES_H_

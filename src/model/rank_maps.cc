@@ -1,0 +1,216 @@
+#include "model/rank_maps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace randrank {
+
+ContinuousF2 ContinuousF2::Make(size_t n, double visits_per_step,
+                                double exponent) {
+  assert(n > 0);
+  double total = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    total += std::pow(static_cast<double>(i), -exponent);
+  }
+  return ContinuousF2{visits_per_step / total, exponent,
+                      static_cast<double>(n)};
+}
+
+double ContinuousF2::operator()(double rank) const {
+  const double clamped = std::clamp(rank, 1.0, n);
+  return theta * std::pow(clamped, -exponent);
+}
+
+double ContinuousF2::MeanOverRange(double a, double b) const {
+  a = std::clamp(a, 1.0, n);
+  b = std::clamp(b, 1.0, n);
+  if (b - a < 1e-9) return (*this)(a);
+  // Mean of theta*x^-e over [a,b]: theta * (b^{1-e} - a^{1-e}) / ((1-e)(b-a)).
+  const double p = 1.0 - exponent;
+  return theta * (std::pow(b, p) - std::pow(a, p)) / (p * (b - a));
+}
+
+RankMap::RankMap(const QualityClasses& classes,
+                 const std::vector<std::vector<double>>& awareness)
+    : classes_(classes) {
+  assert(awareness.size() == classes.size());
+  assert(!awareness.empty());
+  m_ = awareness[0].size() - 1;
+  suffix_.resize(awareness.size());
+  for (size_t c = 0; c < awareness.size(); ++c) {
+    assert(awareness[c].size() == m_ + 1);
+    suffix_[c].assign(m_ + 2, 0.0);
+    for (size_t i = m_ + 1; i-- > 0;) {
+      suffix_[c][i] = suffix_[c][i + 1] + awareness[c][i];
+    }
+    zero_count_ += classes.count[c] * awareness[c][0];
+    total_ += classes.count[c];
+  }
+}
+
+double RankMap::DeterministicRank(double x) const {
+  assert(x >= 0.0);
+  double rank = 1.0;
+  const auto md = static_cast<double>(m_);
+  for (size_t c = 0; c < suffix_.size(); ++c) {
+    const double q = classes_.value[c];
+    if (x >= q) continue;  // no class-c page can have popularity > x
+    // P[A*q > x] = P[A > m*x/q] = suffix at floor(m*x/q)+1.
+    const auto idx =
+        static_cast<size_t>(std::floor(md * x / q)) + 1;
+    if (idx <= m_) rank += classes_.count[c] * suffix_[c][idx];
+  }
+  return rank;
+}
+
+double DisplacedRank(double d, double r, size_t k, double pool_size) {
+  assert(r >= 0.0 && r <= 1.0);
+  if (d < static_cast<double>(k)) return d;
+  if (r <= 0.0 || pool_size <= 0.0) return d;
+  double push;
+  if (r >= 1.0) {
+    push = pool_size;
+  } else {
+    push = std::min(r * (d - static_cast<double>(k) + 1.0) / (1.0 - r),
+                    pool_size);
+  }
+  return d + push;
+}
+
+PromotionVisitMap::PromotionVisitMap(const ContinuousF2& f2,
+                                     PromotionRule rule, double r, size_t k,
+                                     double zero_count, double total_pages,
+                                     bool per_query_lists)
+    : f2_(f2),
+      rule_(rule),
+      r_(r),
+      k_(k),
+      z_(zero_count),
+      n_(total_pages),
+      per_query_(per_query_lists) {
+  if (rule_ == PromotionRule::kUniform) {
+    uniform_pool_size_ = std::max(1.0, r_ * n_);
+    mean_pool_f2_ = MeanF2OverPoolSlots(f2_, k_, r_, uniform_pool_size_);
+  }
+}
+
+double PromotionVisitMap::VisitRate(double f1_of_x) const {
+  switch (rule_) {
+    case PromotionRule::kNone:
+      return f2_(f1_of_x);
+    case PromotionRule::kSelective:
+      // A page with x > 0 has nonzero awareness, hence is outside the pool;
+      // it only suffers the displacement caused by promoting others.
+      return f2_(DisplacedRank(f1_of_x, r_, k_, z_));
+    case PromotionRule::kUniform: {
+      // With probability r the page itself is promoted (pool average);
+      // otherwise it sits in Ld at an index shrunk by the promoted fraction
+      // and displaced by the interleaved pool.
+      const double det_index = 1.0 + (1.0 - r_) * (f1_of_x - 1.0);
+      const double displaced =
+          DisplacedRank(det_index, r_, k_, uniform_pool_size_);
+      return (1.0 - r_) * f2_(displaced) + r_ * mean_pool_f2_;
+    }
+  }
+  return f2_(f1_of_x);
+}
+
+double PromotionVisitMap::ZeroVisitRate() const {
+  // This is a *discovery* rate (the chain's 0 -> 1 transition). Under one
+  // ranked-list realization per day a page leaves the pool at its first
+  // visit, so per-slot rates saturate at one per day (PoolDiscoveryRate);
+  // with a fresh merge per query there is no saturation (PoolVisitRate).
+  const auto pool_rate = [this](double pool) {
+    return per_query_ ? PoolVisitRate(f2_, k_, r_, pool)
+                      : PoolDiscoveryRate(f2_, k_, r_, pool);
+  };
+  const double z = std::max(1.0, z_);
+  switch (rule_) {
+    case PromotionRule::kNone:
+      // Zero-popularity pages tie over the bottom z ranks (rates there are
+      // << 1/day, so saturation is a no-op but kept for consistency).
+      return -std::expm1(-f2_.MeanOverRange(n_ - z + 1.0, n_));
+    case PromotionRule::kSelective:
+      if (r_ <= 0.0) return -std::expm1(-f2_.MeanOverRange(n_ - z + 1.0, n_));
+      // Zero-awareness pages are exactly the pool.
+      return pool_rate(z);
+    case PromotionRule::kUniform: {
+      // Unpromoted zero-awareness pages tie at the bottom of Ld; promoted
+      // ones get the pool discovery rate.
+      const double unpromoted_mid = n_ - (1.0 - r_) * z * 0.5;
+      return (1.0 - r_) * -std::expm1(-f2_(unpromoted_mid)) +
+             r_ * pool_rate(uniform_pool_size_);
+    }
+  }
+  return f2_(n_);
+}
+
+namespace {
+
+/// Midpoint-quadrature mean of g(F2(pool slot position)) over the pool.
+template <typename Fn>
+double MeanOverPool(const ContinuousF2& f2, size_t k, double r,
+                    double pool_size, Fn g) {
+  if (pool_size <= 0.0 || r <= 0.0) return 0.0;
+  // Slot s of the shuffled pool lands near rank k-1 + s/r; average over
+  // s in [0.5, pool_size + 0.5] by midpoint quadrature (the integrand is
+  // smooth and monotone; 128 panels are plenty for the tolerances we test).
+  constexpr int kPanels = 128;
+  const double lo = 0.5;
+  const double hi = pool_size + 0.5;
+  const double width = (hi - lo) / kPanels;
+  double acc = 0.0;
+  for (int p = 0; p < kPanels; ++p) {
+    const double s = lo + width * (p + 0.5);
+    const double rank = static_cast<double>(k) - 1.0 + s / r;
+    acc += g(f2(rank));
+  }
+  return acc / kPanels;
+}
+
+}  // namespace
+
+double MeanF2OverPoolSlots(const ContinuousF2& f2, size_t k, double r,
+                           double pool_size) {
+  return MeanOverPool(f2, k, r, pool_size, [](double x) { return x; });
+}
+
+namespace {
+
+/// Shared fluid walk of the merge: accumulates g(F2(i)) over positions
+/// weighted by the probability the position holds a pool page.
+template <typename Fn>
+double PoolFluxOverPositions(const ContinuousF2& f2, size_t k, double r,
+                             double pool_size, Fn g) {
+  if (pool_size <= 0.0 || r <= 0.0) return 0.0;
+  const auto n = static_cast<size_t>(f2.n);
+  double det_rem = std::max(0.0, f2.n - pool_size);
+  double pool_rem = pool_size;
+  double flux = 0.0;
+  size_t i = 1;
+  for (; i < k && i <= n && det_rem >= 1.0; ++i) det_rem -= 1.0;  // prefix
+  for (; i <= n && pool_rem > 0.0; ++i) {
+    const double share = det_rem > 0.0 ? r : 1.0;
+    flux += share * g(f2(static_cast<double>(i)));
+    pool_rem -= share;
+    det_rem -= 1.0 - share;
+  }
+  return flux / pool_size;
+}
+
+}  // namespace
+
+double PoolDiscoveryRate(const ContinuousF2& f2, size_t k, double r,
+                         double pool_size) {
+  return PoolFluxOverPositions(f2, k, r, pool_size,
+                               [](double x) { return -std::expm1(-x); });
+}
+
+double PoolVisitRate(const ContinuousF2& f2, size_t k, double r,
+                     double pool_size) {
+  return PoolFluxOverPositions(f2, k, r, pool_size,
+                               [](double x) { return x; });
+}
+
+}  // namespace randrank

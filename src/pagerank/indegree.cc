@@ -1,0 +1,18 @@
+#include "pagerank/indegree.h"
+
+namespace randrank {
+
+std::vector<double> InDegreePopularity(const CsrGraph& graph) {
+  const std::vector<uint32_t> in = graph.InDegrees();
+  std::vector<double> pop(in.size(), 0.0);
+  double total = 0.0;
+  for (const uint32_t d : in) total += d;
+  if (total > 0.0) {
+    for (size_t i = 0; i < in.size(); ++i) {
+      pop[i] = static_cast<double>(in[i]) / total;
+    }
+  }
+  return pop;
+}
+
+}  // namespace randrank

@@ -1,0 +1,17 @@
+#ifndef RANDRANK_PAGERANK_INDEGREE_H_
+#define RANDRANK_PAGERANK_INDEGREE_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace randrank {
+
+/// In-degree popularity: normalized in-link counts (sums to 1 unless the
+/// graph has no edges). The cheapest of the popularity measures the paper
+/// lists (in-links, PageRank, user traffic).
+std::vector<double> InDegreePopularity(const CsrGraph& graph);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_PAGERANK_INDEGREE_H_

@@ -1,0 +1,43 @@
+#ifndef RANDRANK_SIM_SIM_RESULT_H_
+#define RANDRANK_SIM_SIM_RESULT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace randrank {
+
+/// Outputs of a steady-state simulation run.
+struct SimResult {
+  /// Absolute quality-per-click over the measurement window.
+  double qpc = 0.0;
+  /// QPC normalized by the ideal quality-ordered ranking.
+  double normalized_qpc = 0.0;
+
+  /// Mean time-to-become-popular (days) over ghost probes that reached the
+  /// awareness threshold; NaN when no probe finished.
+  double mean_tbp = 0.0;
+  size_t tbp_samples = 0;
+  /// Probes that hit the age cap before the threshold (right-censored).
+  size_t tbp_censored = 0;
+
+  /// Time-averaged number of zero-awareness pages (the selective pool size).
+  double mean_zero_awareness_pages = 0.0;
+
+  /// Mean monitored visits/day received by a ghost probe, by age in days
+  /// (Fig. 2's visit-rate evolution). Empty when ghosts are disabled.
+  std::vector<double> ghost_visits_by_age;
+  /// Mean ghost popularity by age in days (Fig. 4a's evolution curves).
+  std::vector<double> ghost_popularity_by_age;
+
+  /// Time-averaged awareness occupancy of the highest-quality page:
+  /// entry i = fraction of measured days spent at awareness i/m (Fig. 3
+  /// simulation overlay). Empty when m is too large to track.
+  std::vector<double> top_page_awareness_occupancy;
+
+  /// Days actually simulated (warmup + measurement).
+  size_t days_simulated = 0;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_SIM_SIM_RESULT_H_

@@ -1,0 +1,96 @@
+#include "util/curve_fit.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace randrank {
+
+std::vector<double> PolyFit(const std::vector<double>& xs,
+                            const std::vector<double>& ys, size_t degree,
+                            const std::vector<double>& weights) {
+  assert(xs.size() == ys.size());
+  assert(weights.empty() || weights.size() == xs.size());
+  const size_t terms = degree + 1;
+  if (xs.size() < terms) return {};
+
+  // Normal equations: (X^T W X) c = X^T W y.
+  std::vector<std::vector<double>> a(terms, std::vector<double>(terms + 1, 0.0));
+  for (size_t p = 0; p < xs.size(); ++p) {
+    const double w = weights.empty() ? 1.0 : weights[p];
+    double xi = 1.0;
+    std::vector<double> pows(2 * terms - 1);
+    for (size_t d = 0; d < pows.size(); ++d) {
+      pows[d] = xi;
+      xi *= xs[p];
+    }
+    for (size_t row = 0; row < terms; ++row) {
+      for (size_t col = 0; col < terms; ++col) {
+        a[row][col] += w * pows[row + col];
+      }
+      a[row][terms] += w * pows[row] * ys[p];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting on the augmented matrix.
+  for (size_t col = 0; col < terms; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < terms; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-14) return {};
+    std::swap(a[col], a[pivot]);
+    for (size_t row = col + 1; row < terms; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k <= terms; ++k) a[row][k] -= factor * a[col][k];
+    }
+  }
+  std::vector<double> coeffs(terms);
+  for (size_t row = terms; row-- > 0;) {
+    double acc = a[row][terms];
+    for (size_t col = row + 1; col < terms; ++col) {
+      acc -= a[row][col] * coeffs[col];
+    }
+    coeffs[row] = acc / a[row][row];
+  }
+  return coeffs;
+}
+
+double PolyEval(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (size_t d = coeffs.size(); d-- > 0;) acc = acc * x + coeffs[d];
+  return acc;
+}
+
+LogLogQuadratic LogLogQuadratic::Fit(const std::vector<double>& xs,
+                                     const std::vector<double>& fs,
+                                     const std::vector<double>& weights) {
+  assert(xs.size() == fs.size());
+  std::vector<double> lx;
+  std::vector<double> lf;
+  std::vector<double> w;
+  lx.reserve(xs.size());
+  lf.reserve(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0 || fs[i] <= 0.0) continue;
+    lx.push_back(std::log(xs[i]));
+    lf.push_back(std::log(fs[i]));
+    if (!weights.empty()) w.push_back(weights[i]);
+  }
+  const std::vector<double> coeffs = PolyFit(lx, lf, 2, w);
+  LogLogQuadratic fit;
+  if (coeffs.size() == 3) {
+    fit.gamma_ = coeffs[0];
+    fit.beta_ = coeffs[1];
+    fit.alpha_ = coeffs[2];
+    fit.valid_ = true;
+  }
+  return fit;
+}
+
+double LogLogQuadratic::operator()(double x) const {
+  assert(x > 0.0);
+  const double lx = std::log(x);
+  return std::exp(alpha_ * lx * lx + beta_ * lx + gamma_);
+}
+
+}  // namespace randrank

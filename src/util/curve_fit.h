@@ -1,0 +1,58 @@
+#ifndef RANDRANK_UTIL_CURVE_FIT_H_
+#define RANDRANK_UTIL_CURVE_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace randrank {
+
+/// Least-squares polynomial fit y = c0 + c1*x + ... + cd*x^d.
+/// Solves the normal equations by Gaussian elimination with partial pivoting.
+/// Degrees used in this project are tiny (<= 3), so conditioning is fine.
+/// Optional per-point weights (defaults to unweighted).
+/// Returns coefficients lowest-degree first; empty on degenerate input
+/// (fewer points than coefficients or singular system).
+std::vector<double> PolyFit(const std::vector<double>& xs,
+                            const std::vector<double>& ys, size_t degree,
+                            const std::vector<double>& weights = {});
+
+/// Evaluates a PolyFit coefficient vector at x.
+double PolyEval(const std::vector<double>& coeffs, double x);
+
+/// The paper's parametric form for the popularity->visit-rate function
+/// (Section 5.3): a quadratic in log-log space,
+///   log F(x) = alpha * (log x)^2 + beta * log x + gamma,
+/// fit to positive samples of F, with F(0) carried separately (the zero-
+/// popularity / zero-awareness case is handled specially by the model).
+class LogLogQuadratic {
+ public:
+  /// Fits to the positive (x, f) pairs; pairs with x <= 0 or f <= 0 are
+  /// ignored. `weights`, when provided, must parallel xs/fs.
+  static LogLogQuadratic Fit(const std::vector<double>& xs,
+                             const std::vector<double>& fs,
+                             const std::vector<double>& weights = {});
+
+  LogLogQuadratic() = default;
+  LogLogQuadratic(double alpha, double beta, double gamma)
+      : alpha_(alpha), beta_(beta), gamma_(gamma) {}
+
+  /// F(x) for x > 0. Asserts on x <= 0 (callers special-case zero).
+  double operator()(double x) const;
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double gamma() const { return gamma_; }
+
+  /// True when Fit had enough valid points to produce coefficients.
+  bool valid() const { return valid_; }
+
+ private:
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
+  double gamma_ = 0.0;
+  bool valid_ = false;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_UTIL_CURVE_FIT_H_

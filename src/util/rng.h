@@ -1,0 +1,63 @@
+#ifndef RANDRANK_UTIL_RNG_H_
+#define RANDRANK_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace randrank {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256++ with a
+/// splitmix64-expanded seed). Satisfies UniformRandomBitGenerator, so it can
+/// be passed to <random> distributions, but the convenience members below are
+/// preferred inside the library: they are reproducible across standard-library
+/// implementations, which <random> distributions are not.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit draw (xoshiro256++).
+  uint64_t operator()();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased multiply-shift.
+  /// `bound` must be positive.
+  uint64_t NextIndex(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Exponentially distributed draw with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// Poisson draw. Uses Knuth's product method for small means and a
+  /// normal approximation above `mean > 64`.
+  uint64_t NextPoisson(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Derives an independent generator for a parallel task or subsystem.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// splitmix64 step; exposed for hashing/seeding helpers.
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_UTIL_RNG_H_

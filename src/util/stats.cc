@@ -1,0 +1,102 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace randrank {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi) {
+  assert(hi > lo);
+  assert(bins > 0);
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::Add(double x, double weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto b = static_cast<long>(std::floor((x - lo_) / width));
+  b = std::clamp<long>(b, 0, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<size_t>(b)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(size_t b) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(b);
+}
+
+double Histogram::bin_hi(size_t b) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(b + 1);
+}
+
+double Histogram::Fraction(size_t b) const {
+  return total_ > 0.0 ? counts_[b] / total_ : 0.0;
+}
+
+double Histogram::ApproxMean() const {
+  if (total_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    acc += counts_[b] * 0.5 * (bin_lo(b) + bin_hi(b));
+  }
+  return acc / total_;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return std::nan("");
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double WeightedMean(const std::vector<double>& values,
+                    const std::vector<double>& weights) {
+  assert(values.size() == weights.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    num += values[i] * weights[i];
+    den += weights[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace randrank

@@ -1,0 +1,67 @@
+#ifndef RANDRANK_UTIL_STATS_H_
+#define RANDRANK_UTIL_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace randrank {
+
+/// Streaming mean/variance/extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x, double weight = 1.0);
+
+  size_t bins() const { return counts_.size(); }
+  double bin_lo(size_t b) const;
+  double bin_hi(size_t b) const;
+  double count(size_t b) const { return counts_[b]; }
+  double total() const { return total_; }
+  /// Fraction of mass in bin b (0 if empty histogram).
+  double Fraction(size_t b) const;
+  /// Mass-weighted mean of samples (using bin midpoints).
+  double ApproxMean() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Exact percentile of a sample (sorts a copy; linear interpolation).
+/// `p` in [0, 100]. Returns NaN for an empty vector.
+double Percentile(std::vector<double> values, double p);
+
+/// Weighted mean: sum(w*x)/sum(w). Returns 0 when total weight is 0.
+double WeightedMean(const std::vector<double>& values,
+                    const std::vector<double>& weights);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_UTIL_STATS_H_

@@ -1,0 +1,52 @@
+#ifndef RANDRANK_UTIL_THREAD_POOL_H_
+#define RANDRANK_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace randrank {
+
+/// Minimal fixed-size thread pool. Used by parameter sweeps (each sweep point
+/// is an independent simulation) and by the PageRank power iteration.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware concurrency (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+/// Work is chunked to keep per-task overhead negligible.
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_UTIL_THREAD_POOL_H_

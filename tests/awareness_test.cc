@@ -1,0 +1,214 @@
+#include "model/awareness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace randrank {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(AwarenessDistributionTest, SumsToOne) {
+  const auto F = [](double x) { return 0.5 + 10.0 * x; };
+  for (const double lambda : {0.001, 0.01, 0.1}) {
+    const std::vector<double> f = AwarenessDistribution(0.4, 100, lambda, F);
+    ASSERT_EQ(f.size(), 101u);
+    EXPECT_NEAR(Sum(f), 1.0, 1e-9) << "lambda=" << lambda;
+  }
+}
+
+TEST(AwarenessDistributionTest, ZeroLevelMatchesClosedForm) {
+  const auto F = [](double x) { return 1.0 + x; };
+  const double lambda = 0.01;
+  const std::vector<double> f = AwarenessDistribution(0.3, 50, lambda, F);
+  // f_0 = lambda / (lambda + F(0)).
+  EXPECT_NEAR(f[0], lambda / (lambda + 1.0), 1e-12);
+}
+
+TEST(AwarenessDistributionTest, MEqualsOneClosedForm) {
+  // Two-state chain: f_1/f_0 = F(0)/lambda exactly.
+  const auto F = [](double) { return 2.0; };
+  const double lambda = 0.5;
+  const std::vector<double> f = AwarenessDistribution(1.0, 1, lambda, F);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_NEAR(f[1] / f[0], 2.0 / 0.5, 1e-12);
+  EXPECT_NEAR(Sum(f), 1.0, 1e-12);
+}
+
+TEST(AwarenessDistributionTest, FastDiscoveryConcentratesAtFullAwareness) {
+  // Visits vastly outpace death: pages spend their lives fully aware.
+  const auto F = [](double) { return 100.0; };
+  const std::vector<double> f = AwarenessDistribution(0.4, 20, 0.001, F);
+  EXPECT_GT(f[20], 0.95);
+}
+
+TEST(AwarenessDistributionTest, EntrenchmentConcentratesAtZero) {
+  // Popularity-gated visits: zero-popularity pages get almost nothing.
+  const auto F = [](double x) { return x <= 0.0 ? 1e-4 : 50.0 * x; };
+  const std::vector<double> f = AwarenessDistribution(0.4, 20, 0.01, F);
+  EXPECT_GT(f[0], 0.95);
+}
+
+TEST(AwarenessDistributionTest, BimodalUnderStepVisitRate) {
+  // The paper's Fig. 3 shape: mass at the extremes, little in the middle.
+  const auto F = [](double x) { return x < 0.05 ? 0.02 : 30.0; };
+  const std::vector<double> f = AwarenessDistribution(0.4, 100, 0.002, F);
+  double middle = 0.0;
+  for (size_t i = 20; i <= 80; ++i) middle += f[i];
+  EXPECT_LT(middle, 0.05);
+  EXPECT_GT(f[0] + f[1], 0.1);
+  EXPECT_GT(f[99] + f[100], 0.1);
+}
+
+TEST(AwarenessDistributionTest, MatchesMonteCarloChain) {
+  // Simulate the exact birth/death-with-promotion chain and compare the
+  // occupancy distribution against Theorem 1 (corrected).
+  const size_t m = 10;
+  const double lambda = 0.02;
+  const auto F = [](double x) { return 0.3 + 5.0 * x; };
+  const double q = 0.4;
+
+  Rng rng(12345);
+  const size_t kSteps = 2000000;
+  std::vector<double> occupancy(m + 1, 0.0);
+  size_t level = 0;
+  // dt chosen so rates are << 1 per step.
+  const double dt = 0.05;
+  for (size_t s = 0; s < kSteps; ++s) {
+    occupancy[level] += 1.0;
+    if (rng.NextBernoulli(lambda * dt)) {
+      level = 0;  // death + rebirth
+      continue;
+    }
+    const double a = static_cast<double>(level) / m;
+    if (level < m && rng.NextBernoulli(F(q * a) * (1.0 - a) * dt)) ++level;
+  }
+  for (double& o : occupancy) o /= static_cast<double>(kSteps);
+
+  const std::vector<double> f = AwarenessDistribution(q, m, lambda, F);
+  for (size_t i = 0; i <= m; ++i) {
+    EXPECT_NEAR(occupancy[i], f[i], 0.02) << "level " << i;
+  }
+}
+
+TEST(AwarenessDistributionPaperLiteralTest, NormalizedAndCloseAtLowLevels) {
+  const auto F = [](double x) { return 0.2 + 2.0 * x; };
+  const double lambda = 0.005;
+  const std::vector<double> ours = AwarenessDistribution(0.4, 100, lambda, F);
+  const std::vector<double> paper =
+      AwarenessDistributionPaperLiteral(0.4, 100, lambda, F);
+  EXPECT_NEAR(Sum(paper), 1.0, 1e-9);
+  // The erratum only matters near full awareness; the low end agrees.
+  EXPECT_NEAR(paper[0], ours[0], 0.05);
+}
+
+TEST(ExpectedTimeToAwarenessTest, TwoLevelHandComputed) {
+  // m = 2, threshold 0.99 -> must reach level 2.
+  // beta_0 = F(0), beta_1 = F(q/2) * 0.5. T = 1/beta_0 + 1/beta_1.
+  const auto F = [](double x) { return 1.0 + x; };
+  const double t = ExpectedTimeToAwareness(0.4, 2, F, 0.99);
+  EXPECT_NEAR(t, 1.0 / 1.0 + 1.0 / (1.2 * 0.5), 1e-12);
+}
+
+TEST(ExpectedTimeToAwarenessTest, MoreVisitsIsFaster) {
+  const auto slow = [](double x) { return 0.1 + x; };
+  const auto fast = [](double x) { return 1.0 + x; };
+  EXPECT_LT(ExpectedTimeToAwareness(0.4, 100, fast),
+            ExpectedTimeToAwareness(0.4, 100, slow));
+}
+
+TEST(ExpectedTimeToAwarenessTest, ZeroRateIsInfinite) {
+  const auto F = [](double x) { return x; };  // F(0) = 0: never discovered
+  EXPECT_TRUE(std::isinf(ExpectedTimeToAwareness(0.4, 10, F)));
+}
+
+TEST(AwarenessDistributionTest, CoarseLevelsApproximateExactChain) {
+  const auto F = [](double x) { return 0.5 + 20.0 * x; };
+  const std::vector<double> exact =
+      AwarenessDistribution(0.4, 1000, 0.01, F);
+  const std::vector<double> coarse =
+      AwarenessDistribution(0.4, 1000, 0.01, F, 100);
+  ASSERT_EQ(exact.size(), 1001u);
+  ASSERT_EQ(coarse.size(), 101u);
+  // Zero level is exact in both.
+  EXPECT_NEAR(exact[0], coarse[0], 1e-9);
+  // Mass above awareness 1/2 agrees within a few percent.
+  double exact_high = 0.0;
+  for (size_t i = 500; i <= 1000; ++i) exact_high += exact[i];
+  double coarse_high = 0.0;
+  for (size_t i = 50; i <= 100; ++i) coarse_high += coarse[i];
+  EXPECT_NEAR(exact_high, coarse_high, 0.05);
+}
+
+TEST(AwarenessTransientTest, StartsAtZeroAndIsMonotone) {
+  const auto F = [](double x) { return 0.1 + 10.0 * x; };
+  const std::vector<double> mean = AwarenessTransient(0.4, 1000, F, 200);
+  ASSERT_EQ(mean.size(), 201u);
+  EXPECT_DOUBLE_EQ(mean[0], 0.0);
+  for (size_t t = 1; t < mean.size(); ++t) {
+    EXPECT_GE(mean[t], mean[t - 1] - 1e-12);
+    EXPECT_LE(mean[t], 1.0 + 1e-12);
+  }
+}
+
+TEST(AwarenessTransientTest, EntrenchedPageStaysNearZero) {
+  // F(0) = 1e-4/day: expected discovery wait of 10,000 days, but visits are
+  // plentiful once the page has any popularity at all. The fluid ODE lets
+  // fractional users accumulate, crosses the knee within days and saturates;
+  // the master-equation transient keeps the discovery wait stochastic and
+  // stays near zero (the mass that did get discovered, ~5%).
+  const auto F = [](double x) { return x < 1e-6 ? 1e-4 : 30.0; };
+  const std::vector<double> mean = AwarenessTransient(0.4, 1000, F, 500);
+  EXPECT_LT(mean[500], 0.1);
+  const std::vector<double> fluid = AwarenessTrajectory(0.4, 1000, F, 500);
+  EXPECT_GT(fluid[500], 0.9);
+}
+
+TEST(AwarenessTransientTest, FastDiscoverySaturates) {
+  const auto F = [](double) { return 50.0; };
+  const std::vector<double> mean = AwarenessTransient(0.4, 100, F, 100);
+  EXPECT_GT(mean[100], 0.95);
+}
+
+TEST(AwarenessTrajectoryTest, MonotoneAndBounded) {
+  const auto F = [](double x) { return 0.5 + 20.0 * x; };
+  const std::vector<double> a = AwarenessTrajectory(0.4, 100, F, 500);
+  ASSERT_EQ(a.size(), 501u);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  for (size_t t = 1; t < a.size(); ++t) {
+    EXPECT_GE(a[t], a[t - 1]);
+    EXPECT_LE(a[t], 1.0);
+  }
+}
+
+TEST(AwarenessTrajectoryTest, HighRateSaturates) {
+  const auto F = [](double) { return 1000.0; };
+  const std::vector<double> a = AwarenessTrajectory(0.4, 10, F, 10);
+  EXPECT_GT(a.back(), 0.999);
+}
+
+TEST(AwarenessTrajectoryTest, TrajectoryConsistentWithHittingTime) {
+  // The deterministic trajectory should cross 0.99 near the expected
+  // hitting time when rates are high (low variance regime).
+  const auto F = [](double x) { return 5.0 + 50.0 * x; };
+  const double tbp = ExpectedTimeToAwareness(0.4, 100, F, 0.99);
+  const std::vector<double> a = AwarenessTrajectory(0.4, 100, F, 400);
+  size_t crossing = a.size();
+  for (size_t t = 0; t < a.size(); ++t) {
+    if (a[t] >= 0.99) {
+      crossing = t;
+      break;
+    }
+  }
+  ASSERT_LT(crossing, a.size());
+  EXPECT_NEAR(static_cast<double>(crossing), tbp, tbp * 0.35 + 2.0);
+}
+
+}  // namespace
+}  // namespace randrank

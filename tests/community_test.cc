@@ -1,0 +1,90 @@
+#include "core/community.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace randrank {
+namespace {
+
+TEST(CommunityTest, DefaultMatchesPaperSection61) {
+  const CommunityParams p = CommunityParams::Default();
+  EXPECT_EQ(p.n, 10000u);
+  EXPECT_EQ(p.u, 1000u);
+  EXPECT_EQ(p.m, 100u);
+  EXPECT_DOUBLE_EQ(p.visits_per_day, 1000.0);
+  EXPECT_NEAR(p.lifetime_days, 1.5 * 365.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.max_quality, 0.4);
+  EXPECT_TRUE(p.Valid());
+}
+
+TEST(CommunityTest, MonitoredVisitsScaleWithMonitoredFraction) {
+  const CommunityParams p = CommunityParams::Default();
+  EXPECT_DOUBLE_EQ(p.monitored_visits_per_day(), 100.0);  // v = vu * m/u
+}
+
+TEST(CommunityTest, LambdaIsInverseLifetime) {
+  CommunityParams p = CommunityParams::Default();
+  p.lifetime_days = 200.0;
+  EXPECT_DOUBLE_EQ(p.lambda(), 0.005);
+}
+
+TEST(CommunityTest, InvalidConfigurations) {
+  CommunityParams p = CommunityParams::Default();
+  p.m = p.u + 1;  // more monitored than users
+  EXPECT_FALSE(p.Valid());
+  p = CommunityParams::Default();
+  p.quality_exponent = 1.0;
+  EXPECT_FALSE(p.Valid());
+  p = CommunityParams::Default();
+  p.max_quality = 0.0;
+  EXPECT_FALSE(p.Valid());
+  p = CommunityParams::Default();
+  p.n = 0;
+  EXPECT_FALSE(p.Valid());
+}
+
+TEST(CommunityTest, QualityValuesDescendingMaxFirst) {
+  const CommunityParams p = CommunityParams::Default();
+  const std::vector<double> q = p.QualityValues();
+  ASSERT_EQ(q.size(), p.n);
+  EXPECT_DOUBLE_EQ(q[0], 0.4);
+  for (size_t i = 1; i < q.size(); ++i) EXPECT_LE(q[i], q[i - 1]);
+  EXPECT_GT(q.back(), 0.0);
+}
+
+TEST(QpcOfRankingTest, UniformQualityGivesThatQuality) {
+  EXPECT_NEAR(QpcOfRanking(std::vector<double>(100, 0.25), 1.5), 0.25, 1e-12);
+}
+
+TEST(QpcOfRankingTest, QualityFirstBeatsQualityLast) {
+  std::vector<double> best{0.4, 0.1, 0.1, 0.1};
+  std::vector<double> worst{0.1, 0.1, 0.1, 0.4};
+  EXPECT_GT(QpcOfRanking(best, 1.5), QpcOfRanking(worst, 1.5));
+}
+
+TEST(QpcOfRankingTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(QpcOfRanking({}, 1.5), 0.0);
+}
+
+TEST(IdealQpcTest, BetweenMinAndMaxQuality) {
+  const CommunityParams p = CommunityParams::Default();
+  const double ideal = IdealQpc(p);
+  EXPECT_GT(ideal, 0.0);
+  EXPECT_LE(ideal, p.max_quality);
+  // Rank-biased visits concentrate on the head, so the ideal is far above
+  // the mean quality of a power-law population.
+  EXPECT_GT(ideal, 0.05);
+}
+
+TEST(IdealQpcTest, NoRankingBeatsIdeal) {
+  // Any permutation of qualities has QPC <= ideal.
+  const CommunityParams p = CommunityParams::Default();
+  std::vector<double> q = p.QualityValues();
+  const double ideal = IdealQpc(p);
+  std::reverse(q.begin(), q.end());
+  EXPECT_LT(QpcOfRanking(q, p.rank_bias_exponent), ideal);
+}
+
+}  // namespace
+}  // namespace randrank

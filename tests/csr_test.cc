@@ -1,0 +1,83 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace randrank {
+namespace {
+
+TEST(CsrGraphTest, EmptyGraph) {
+  const CsrGraph g = CsrGraph::FromEdges(0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraphTest, NoEdges) {
+  const CsrGraph g = CsrGraph::FromEdges(5, {});
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (uint32_t u = 0; u < 5; ++u) EXPECT_EQ(g.OutDegree(u), 0u);
+}
+
+TEST(CsrGraphTest, AdjacencyPreserved) {
+  const CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {3, 0}});
+  EXPECT_EQ(g.num_edges(), 4u);
+  const auto n0 = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<uint32_t>(n0.begin(), n0.end()),
+            (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+  EXPECT_EQ(g.OutDegree(3), 1u);
+}
+
+TEST(CsrGraphTest, SelfLoopsDropped) {
+  const CsrGraph g = CsrGraph::FromEdges(3, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+}
+
+TEST(CsrGraphTest, ParallelEdgesKept) {
+  const CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(CsrGraphTest, InDegrees) {
+  const CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {2, 1}, {3, 1}, {1, 0}});
+  const std::vector<uint32_t> in = g.InDegrees();
+  EXPECT_EQ(in, (std::vector<uint32_t>{1, 3, 0, 0}));
+}
+
+TEST(CsrGraphTest, TransposeReversesEdges) {
+  const CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  const CsrGraph t = g.Transpose();
+  EXPECT_EQ(t.num_edges(), 3u);
+  const auto in2 = t.OutNeighbors(2);
+  std::vector<uint32_t> sources(in2.begin(), in2.end());
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(sources, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(t.OutDegree(0), 0u);
+}
+
+TEST(CsrGraphTest, TransposeTwiceIsIdentityUpToOrder) {
+  const CsrGraph g =
+      CsrGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 3}});
+  const CsrGraph tt = g.Transpose().Transpose();
+  ASSERT_EQ(tt.num_nodes(), g.num_nodes());
+  ASSERT_EQ(tt.num_edges(), g.num_edges());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    auto a = g.OutNeighbors(u);
+    auto b = tt.OutNeighbors(u);
+    std::vector<uint32_t> va(a.begin(), a.end());
+    std::vector<uint32_t> vb(b.begin(), b.end());
+    std::sort(va.begin(), va.end());
+    std::sort(vb.begin(), vb.end());
+    EXPECT_EQ(va, vb) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace randrank

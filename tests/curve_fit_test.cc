@@ -1,0 +1,124 @@
+#include "util/curve_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace randrank {
+namespace {
+
+TEST(PolyFitTest, RecoversLine) {
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 * x - 1.0);
+  const std::vector<double> c = PolyFit(xs, ys, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], -1.0, 1e-10);
+  EXPECT_NEAR(c[1], 2.0, 1e-10);
+}
+
+TEST(PolyFitTest, RecoversQuadratic) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = -5; i <= 5; ++i) {
+    const double x = i * 0.5;
+    xs.push_back(x);
+    ys.push_back(0.5 * x * x - 2.0 * x + 3.0);
+  }
+  const std::vector<double> c = PolyFit(xs, ys, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 3.0, 1e-9);
+  EXPECT_NEAR(c[1], -2.0, 1e-9);
+  EXPECT_NEAR(c[2], 0.5, 1e-9);
+}
+
+TEST(PolyFitTest, LeastSquaresUnderNoiseStaysClose) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(1.0 + 0.3 * x + ((i % 2) ? 0.01 : -0.01));
+  }
+  const std::vector<double> c = PolyFit(xs, ys, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 1.0, 0.01);
+  EXPECT_NEAR(c[1], 0.3, 0.01);
+}
+
+TEST(PolyFitTest, WeightsPullTheFit) {
+  // Two clusters; heavy weights on the second force the line through it.
+  std::vector<double> xs{0.0, 0.0, 1.0, 1.0};
+  std::vector<double> ys{0.0, 2.0, 10.0, 10.0};
+  const std::vector<double> unweighted = PolyFit(xs, ys, 0);
+  const std::vector<double> weighted =
+      PolyFit(xs, ys, 0, {1.0, 1.0, 100.0, 100.0});
+  ASSERT_EQ(unweighted.size(), 1u);
+  ASSERT_EQ(weighted.size(), 1u);
+  EXPECT_NEAR(unweighted[0], 5.5, 1e-9);
+  EXPECT_GT(weighted[0], 9.5);
+}
+
+TEST(PolyFitTest, InsufficientPointsReturnsEmpty) {
+  EXPECT_TRUE(PolyFit({1.0}, {1.0}, 2).empty());
+}
+
+TEST(PolyFitTest, SingularSystemReturnsEmpty) {
+  // All x identical -> rank-deficient normal equations for degree >= 1.
+  EXPECT_TRUE(PolyFit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}, 1).empty());
+}
+
+TEST(PolyEvalTest, HornerOrder) {
+  EXPECT_DOUBLE_EQ(PolyEval({1.0, 2.0, 3.0}, 2.0), 1.0 + 4.0 + 12.0);
+  EXPECT_DOUBLE_EQ(PolyEval({}, 5.0), 0.0);
+}
+
+TEST(LogLogQuadraticTest, RecoversPowerLaw) {
+  // F(x) = 2 * x^{-1.5} is log-linear: alpha ~ 0, beta ~ -1.5.
+  std::vector<double> xs;
+  std::vector<double> fs;
+  for (int i = 1; i <= 40; ++i) {
+    const double x = i * 0.01;
+    xs.push_back(x);
+    fs.push_back(2.0 * std::pow(x, -1.5));
+  }
+  const LogLogQuadratic fit = LogLogQuadratic::Fit(xs, fs);
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit.alpha(), 0.0, 1e-8);
+  EXPECT_NEAR(fit.beta(), -1.5, 1e-8);
+  EXPECT_NEAR(fit.gamma(), std::log(2.0), 1e-8);
+  EXPECT_NEAR(fit(0.07), 2.0 * std::pow(0.07, -1.5), 1e-6);
+}
+
+TEST(LogLogQuadraticTest, RecoversQuadraticInLogSpace) {
+  const LogLogQuadratic truth(0.2, -1.0, 0.5);
+  std::vector<double> xs;
+  std::vector<double> fs;
+  for (int i = 1; i <= 50; ++i) {
+    const double x = std::exp(-5.0 + 0.1 * i);
+    xs.push_back(x);
+    fs.push_back(truth(x));
+  }
+  const LogLogQuadratic fit = LogLogQuadratic::Fit(xs, fs);
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit.alpha(), 0.2, 1e-8);
+  EXPECT_NEAR(fit.beta(), -1.0, 1e-8);
+  EXPECT_NEAR(fit.gamma(), 0.5, 1e-8);
+}
+
+TEST(LogLogQuadraticTest, IgnoresNonPositivePoints) {
+  std::vector<double> xs{-1.0, 0.0, 0.1, 0.2, 0.4, 0.8};
+  std::vector<double> fs{5.0, 5.0, 1.0, 1.0, 1.0, 1.0};
+  const LogLogQuadratic fit = LogLogQuadratic::Fit(xs, fs);
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit(0.3), 1.0, 1e-9);
+}
+
+TEST(LogLogQuadraticTest, TooFewPointsInvalid) {
+  const LogLogQuadratic fit = LogLogQuadratic::Fit({1.0, 2.0}, {1.0, 2.0});
+  EXPECT_FALSE(fit.valid());
+}
+
+}  // namespace
+}  // namespace randrank

@@ -1,0 +1,101 @@
+#include "graph/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace randrank {
+namespace {
+
+EvolvingWebGraph::Options TestOptions() {
+  EvolvingWebGraph::Options o;
+  o.num_nodes = 500;
+  o.links_per_step = 50;
+  o.retire_rate = 0.01;
+  o.initial_links_per_node = 2;
+  return o;
+}
+
+TEST(EvolvingWebGraphTest, InitialState) {
+  Rng rng(1);
+  EvolvingWebGraph g(TestOptions(), rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_GT(g.num_edges(), 900u);
+  EXPECT_EQ(g.step(), 0);
+}
+
+TEST(EvolvingWebGraphTest, StepAddsLinks) {
+  Rng rng(2);
+  EvolvingWebGraph g(TestOptions(), rng);
+  const size_t before = g.num_edges();
+  std::vector<double> uniform(500, 1.0 / 500.0);
+  g.Step(uniform, rng);
+  // ~50 new links minus retirements (5 nodes * ~4 links).
+  EXPECT_GT(g.num_edges() + 60, before + 20);
+  EXPECT_EQ(g.step(), 1);
+}
+
+TEST(EvolvingWebGraphTest, InDegreeTracksVisitShare) {
+  Rng rng(3);
+  EvolvingWebGraph::Options o = TestOptions();
+  o.retire_rate = 0.0;
+  EvolvingWebGraph g(o, rng);
+  std::vector<double> share(500, 0.0);
+  share[7] = 1.0;  // all attention on page 7
+  for (int s = 0; s < 20; ++s) g.Step(share, rng);
+  // Page 7 should have collected nearly all new links.
+  EXPECT_GT(g.in_degrees()[7], 900u);
+}
+
+TEST(EvolvingWebGraphTest, ChurnConservesEdgeAccounting) {
+  // Retirement samples pages with replacement, so we cannot assert a full
+  // wipe; instead check the structural invariants: edge counters stay
+  // consistent with the adjacency snapshot across heavy churn, and rebirth
+  // timestamps advance.
+  Rng rng(4);
+  EvolvingWebGraph::Options o = TestOptions();
+  o.retire_rate = 0.5;
+  EvolvingWebGraph g(o, rng);
+  std::vector<double> uniform(500, 1.0 / 500.0);
+  bool saw_rebirth = false;
+  for (int s = 0; s < 5; ++s) {
+    g.Step(uniform, rng);
+    const CsrGraph snap = g.Snapshot();
+    EXPECT_EQ(snap.num_edges(), g.num_edges());
+    size_t total_in = 0;
+    for (const uint32_t d : snap.InDegrees()) total_in += d;
+    EXPECT_EQ(total_in, g.num_edges());
+    for (const int64_t b : g.birth_step()) {
+      saw_rebirth |= b == g.step() - 1;
+    }
+  }
+  EXPECT_TRUE(saw_rebirth);
+}
+
+TEST(EvolvingWebGraphTest, SnapshotMatchesCounts) {
+  Rng rng(5);
+  EvolvingWebGraph g(TestOptions(), rng);
+  std::vector<double> uniform(500, 1.0 / 500.0);
+  for (int s = 0; s < 5; ++s) g.Step(uniform, rng);
+  const CsrGraph snap = g.Snapshot();
+  EXPECT_EQ(snap.num_nodes(), g.num_nodes());
+  EXPECT_EQ(snap.num_edges(), g.num_edges());
+  const std::vector<uint32_t> in = snap.InDegrees();
+  for (size_t p = 0; p < in.size(); ++p) {
+    EXPECT_EQ(in[p], g.in_degrees()[p]) << "page " << p;
+  }
+}
+
+TEST(EvolvingWebGraphTest, ZeroShareFallsBackToUniform) {
+  Rng rng(6);
+  EvolvingWebGraph g(TestOptions(), rng);
+  std::vector<double> zeros(500, 0.0);
+  g.Step(zeros, rng);  // must not crash or divide by zero
+  EXPECT_EQ(g.step(), 1);
+}
+
+}  // namespace
+}  // namespace randrank

@@ -1,0 +1,97 @@
+#include "harness/presets.h"
+#include "harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace randrank {
+namespace {
+
+TEST(PresetsTest, CommunityOfSizeKeepsRatios) {
+  const CommunityParams p = CommunityOfSize(100000);
+  EXPECT_EQ(p.n, 100000u);
+  EXPECT_EQ(p.u, 10000u);
+  EXPECT_EQ(p.m, 1000u);
+  EXPECT_DOUBLE_EQ(p.visits_per_day, 10000.0);
+  EXPECT_TRUE(p.Valid());
+}
+
+TEST(PresetsTest, LifetimePreset) {
+  const CommunityParams p = CommunityWithLifetimeYears(3.0);
+  EXPECT_NEAR(p.lifetime_days, 1095.0, 1e-9);
+  EXPECT_EQ(p.n, 10000u);
+}
+
+TEST(PresetsTest, VisitRatePresetScalesUsers) {
+  const CommunityParams p = CommunityWithVisitRate(100000.0);
+  EXPECT_DOUBLE_EQ(p.visits_per_day, 100000.0);
+  EXPECT_EQ(p.u, 100000u);
+  EXPECT_EQ(p.m, 10000u);
+  EXPECT_TRUE(p.Valid());
+}
+
+TEST(PresetsTest, UsersPresetKeepsVisitBudget) {
+  const CommunityParams p = CommunityWithUsers(100000);
+  EXPECT_EQ(p.u, 100000u);
+  EXPECT_DOUBLE_EQ(p.visits_per_day, 1000.0);
+  EXPECT_TRUE(p.Valid());
+}
+
+TEST(PresetsTest, ScaledDownKeepsValidity) {
+  const CommunityParams p = ScaledDown(CommunityParams::Default(), 10);
+  EXPECT_EQ(p.n, 1000u);
+  EXPECT_EQ(p.u, 100u);
+  EXPECT_EQ(p.m, 10u);
+  EXPECT_TRUE(p.Valid());
+}
+
+TEST(SweepTest, RunsPointsInOrder) {
+  std::vector<SweepPoint> points;
+  for (const double r : {0.0, 0.1}) {
+    SweepPoint pt;
+    pt.label = r == 0.0 ? "none" : "selective";
+    pt.x = r;
+    pt.params = ScaledDown(CommunityParams::Default(), 20);
+    pt.config = r == 0.0 ? RankPromotionConfig::None()
+                         : RankPromotionConfig::Selective(r, 1);
+    pt.options.warmup_days = 100;
+    pt.options.measure_days = 60;
+    pt.options.ghost_count = 0;
+    points.push_back(pt);
+  }
+  const std::vector<SweepOutcome> outcomes = RunAgentSweep(points, 2);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].point.label, "none");
+  EXPECT_EQ(outcomes[1].point.label, "selective");
+  for (const auto& o : outcomes) {
+    EXPECT_GT(o.result.qpc, 0.0);
+  }
+}
+
+TEST(SweepTest, AveragedReducesToSingleWhenOneSeed) {
+  SweepPoint pt;
+  pt.params = ScaledDown(CommunityParams::Default(), 20);
+  pt.config = RankPromotionConfig::None();
+  pt.options.warmup_days = 80;
+  pt.options.measure_days = 40;
+  pt.options.ghost_count = 0;
+  const auto single = RunAgentSweepAveraged({pt}, 1, 2);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_GT(single[0].result.qpc, 0.0);
+}
+
+TEST(SweepTest, AveragingTightensAcrossSeeds) {
+  SweepPoint pt;
+  pt.params = ScaledDown(CommunityParams::Default(), 20);
+  pt.config = RankPromotionConfig::Selective(0.1, 1);
+  pt.options.warmup_days = 80;
+  pt.options.measure_days = 40;
+  pt.options.ghost_count = 8;
+  pt.options.ghost_max_age = 300;
+  const auto averaged = RunAgentSweepAveraged({pt}, 3, 3);
+  ASSERT_EQ(averaged.size(), 1u);
+  EXPECT_GT(averaged[0].result.qpc, 0.0);
+  EXPECT_LE(averaged[0].result.normalized_qpc, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace randrank

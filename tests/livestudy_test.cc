@@ -1,0 +1,122 @@
+#include "livestudy/study.h"
+
+#include <gtest/gtest.h>
+
+#include "livestudy/joke_site.h"
+#include "util/rng.h"
+
+namespace randrank {
+namespace {
+
+LiveStudyParams FastParams(uint64_t seed = 2005) {
+  LiveStudyParams p;
+  p.items = 300;
+  p.total_users = 300;
+  p.days = 45;
+  p.measure_last_days = 15;
+  p.seed = seed;
+  return p;
+}
+
+TEST(ItemScheduleTest, FunninessMatchesPowerLaw) {
+  Rng rng(1);
+  const ItemSchedule s = ItemSchedule::Make(100, 30, 2.1, 0.8, rng);
+  EXPECT_DOUBLE_EQ(s.funniness[0], 0.8);
+  for (size_t i = 1; i < 100; ++i) {
+    EXPECT_LE(s.funniness[i], s.funniness[i - 1]);
+  }
+}
+
+TEST(ItemScheduleTest, FirstExpiryWithinLifetime) {
+  Rng rng(2);
+  const ItemSchedule s = ItemSchedule::Make(200, 30, 2.1, 0.8, rng);
+  for (const size_t e : s.first_expiry) {
+    EXPECT_GE(e, 1u);
+    EXPECT_LE(e, 30u);
+  }
+}
+
+TEST(ItemScheduleTest, RenewalEveryLifetime) {
+  Rng rng(3);
+  ItemSchedule s = ItemSchedule::Make(10, 30, 2.1, 0.8, rng);
+  s.first_expiry[0] = 7;
+  EXPECT_TRUE(s.ExpiresOn(0, 6));    // day 6 => end of day 7 of life
+  EXPECT_FALSE(s.ExpiresOn(0, 7));
+  EXPECT_TRUE(s.ExpiresOn(0, 36));   // 30 days later
+  EXPECT_FALSE(s.ExpiresOn(0, 35));
+}
+
+TEST(JokeSiteGroupTest, VotesAccumulate) {
+  Rng rng(4);
+  const ItemSchedule schedule = ItemSchedule::Make(100, 30, 2.1, 0.8, rng);
+  JokeSiteGroup::Options options;
+  options.users = 50;
+  options.views_per_user_day = 2.0;
+  options.seed = 5;
+  JokeSiteGroup group(schedule, RankPromotionConfig::None(), options);
+  for (int d = 0; d < 10; ++d) group.StepDay();
+  EXPECT_GT(group.total_votes(), 0u);
+  EXPECT_LE(group.funny_votes(), group.total_votes());
+}
+
+TEST(JokeSiteGroupTest, OneVotePerUserItem) {
+  // With a single user and vote_probability 1, total votes can never exceed
+  // the number of distinct items.
+  Rng rng(6);
+  const ItemSchedule schedule = ItemSchedule::Make(50, 1000, 2.1, 0.8, rng);
+  JokeSiteGroup::Options options;
+  options.users = 1;
+  options.views_per_user_day = 20.0;
+  options.vote_probability = 1.0;
+  options.seed = 7;
+  JokeSiteGroup group(schedule, RankPromotionConfig::None(), options);
+  for (int d = 0; d < 30; ++d) group.StepDay();
+  EXPECT_LE(group.total_votes(), 50u);
+}
+
+TEST(JokeSiteGroupTest, VotesSinceWindowing) {
+  Rng rng(8);
+  const ItemSchedule schedule = ItemSchedule::Make(100, 30, 2.1, 0.8, rng);
+  JokeSiteGroup::Options options;
+  options.users = 50;
+  options.seed = 9;
+  JokeSiteGroup group(schedule, RankPromotionConfig::None(), options);
+  for (int d = 0; d < 20; ++d) group.StepDay();
+  EXPECT_EQ(group.total_votes_since(0), group.total_votes());
+  const uint64_t last5 = group.total_votes_since(15);
+  EXPECT_LE(last5, group.total_votes());
+}
+
+TEST(RunLiveStudyTest, ProducesRatiosInRange) {
+  const LiveStudyResult r = RunLiveStudy(FastParams());
+  EXPECT_GT(r.control_votes, 0u);
+  EXPECT_GT(r.promoted_votes, 0u);
+  EXPECT_GE(r.control_ratio, 0.0);
+  EXPECT_LE(r.control_ratio, 1.0);
+  EXPECT_GE(r.promoted_ratio, 0.0);
+  EXPECT_LE(r.promoted_ratio, 1.0);
+}
+
+TEST(RunLiveStudyTest, PromotionLiftsFunnyRatio) {
+  // Fig. 1's direction, averaged over seeds to suppress noise.
+  double lift_sum = 0.0;
+  const int kSeeds = 5;
+  for (int s = 0; s < kSeeds; ++s) {
+    LiveStudyParams p = FastParams(1000 + s);
+    p.items = 500;
+    p.total_users = 500;
+    const LiveStudyResult r = RunLiveStudy(p);
+    lift_sum += r.Lift();
+  }
+  EXPECT_GT(lift_sum / kSeeds, 1.05);
+}
+
+TEST(RunLiveStudyTest, DeterministicForSeed) {
+  const LiveStudyResult a = RunLiveStudy(FastParams(77));
+  const LiveStudyResult b = RunLiveStudy(FastParams(77));
+  EXPECT_DOUBLE_EQ(a.control_ratio, b.control_ratio);
+  EXPECT_DOUBLE_EQ(a.promoted_ratio, b.promoted_ratio);
+}
+
+}  // namespace
+}  // namespace randrank

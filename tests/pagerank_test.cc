@@ -1,0 +1,136 @@
+#include "pagerank/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "pagerank/indegree.h"
+#include "util/rng.h"
+
+namespace randrank {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  Rng rng(1);
+  const CsrGraph g = PreferentialAttachmentGraph(1000, 3, rng);
+  const PageRankResult r = ComputePageRank(g);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Sum(r.scores), 1.0, 1e-8);
+}
+
+TEST(PageRankTest, CycleIsUniform) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  const size_t n = 10;
+  for (uint32_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  const CsrGraph g = CsrGraph::FromEdges(n, edges);
+  const PageRankResult r = ComputePageRank(g);
+  for (const double s : r.scores) EXPECT_NEAR(s, 0.1, 1e-8);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 1; i < 50; ++i) edges.push_back({i, 0});
+  const CsrGraph g = CsrGraph::FromEdges(50, edges);
+  const PageRankResult r = ComputePageRank(g);
+  for (uint32_t i = 1; i < 50; ++i) EXPECT_GT(r.scores[0], r.scores[i] * 10);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  // 0 -> 1, and 1 dangles; scores must still sum to 1.
+  const CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}});
+  const PageRankResult r = ComputePageRank(g);
+  EXPECT_NEAR(Sum(r.scores), 1.0, 1e-8);
+  EXPECT_GT(r.scores[1], r.scores[0]);  // 1 receives 0's endorsement
+}
+
+TEST(PageRankTest, ZeroDampingIsTeleportOnly) {
+  Rng rng(2);
+  const CsrGraph g = UniformRandomGraph(100, 3, rng);
+  PageRankOptions options;
+  options.damping = 0.0;
+  const PageRankResult r = ComputePageRank(g, options);
+  for (const double s : r.scores) EXPECT_NEAR(s, 0.01, 1e-10);
+}
+
+TEST(PageRankTest, PersonalizationBiasesScores) {
+  Rng rng(3);
+  const CsrGraph g = UniformRandomGraph(200, 3, rng);
+  std::vector<double> personalization(200, 0.0);
+  personalization[5] = 1.0;
+  const PageRankResult r = ComputePageRank(g, {}, &personalization);
+  // Node 5 absorbs all teleportation, so it should rank near the top.
+  size_t better = 0;
+  for (const double s : r.scores) better += s > r.scores[5];
+  EXPECT_LT(better, 3u);
+}
+
+TEST(PageRankTest, WarmStartConvergesFasterAfterSmallChange) {
+  Rng rng(4);
+  const CsrGraph g = PreferentialAttachmentGraph(3000, 3, rng);
+  PageRankOptions options;
+  options.tolerance = 1e-12;
+  const PageRankResult cold = ComputePageRank(g, options);
+  ASSERT_TRUE(cold.converged);
+  // Tiny perturbation: same graph, warm-started.
+  const PageRankResult warm = ComputePageRank(g, options, nullptr, &cold.scores);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations / 2);
+}
+
+TEST(PageRankTest, ParallelMatchesSequential) {
+  Rng rng(5);
+  const CsrGraph g = PreferentialAttachmentGraph(5000, 4, rng);
+  PageRankOptions seq;
+  PageRankOptions par;
+  par.threads = 8;
+  const PageRankResult a = ComputePageRank(g, seq);
+  const PageRankResult b = ComputePageRank(g, par);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_NEAR(a.scores[i], b.scores[i], 1e-12);
+  }
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  const CsrGraph g;
+  const PageRankResult r = ComputePageRank(g);
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(PageRankTest, CorrelatesWithInDegreeOnScaleFree) {
+  Rng rng(6);
+  const CsrGraph g = PreferentialAttachmentGraph(2000, 3, rng);
+  const PageRankResult r = ComputePageRank(g);
+  const std::vector<double> in = InDegreePopularity(g);
+  // Top in-degree node should be in the PageRank top-10.
+  size_t top_in = 0;
+  for (size_t i = 1; i < in.size(); ++i) {
+    if (in[i] > in[top_in]) top_in = i;
+  }
+  size_t better = 0;
+  for (const double s : r.scores) better += s > r.scores[top_in];
+  EXPECT_LT(better, 10u);
+}
+
+TEST(InDegreePopularityTest, NormalizedAndProportional) {
+  const CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {2, 1}, {3, 2}});
+  const std::vector<double> pop = InDegreePopularity(g);
+  EXPECT_NEAR(Sum(pop), 1.0, 1e-12);
+  EXPECT_NEAR(pop[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pop[2], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pop[0], 0.0);
+}
+
+TEST(InDegreePopularityTest, NoEdgesAllZero) {
+  const CsrGraph g = CsrGraph::FromEdges(3, {});
+  for (const double p : InDegreePopularity(g)) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+}  // namespace
+}  // namespace randrank

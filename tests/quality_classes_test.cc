@@ -1,0 +1,57 @@
+#include "model/quality_classes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace randrank {
+namespace {
+
+TEST(QualityClassesTest, SmallCommunityOneClassPerPage) {
+  CommunityParams p = CommunityParams::Default();
+  p.n = 500;
+  const QualityClasses c = QualityClasses::FromCommunity(p, 2048);
+  EXPECT_EQ(c.size(), 500u);
+  EXPECT_DOUBLE_EQ(c.total_pages(), 500.0);
+  for (const double count : c.count) EXPECT_DOUBLE_EQ(count, 1.0);
+  EXPECT_DOUBLE_EQ(c.value.front(), 0.4);
+}
+
+TEST(QualityClassesTest, LargeCommunityBucketsPreserveCount) {
+  CommunityParams p = CommunityParams::Default();
+  p.n = 100000;
+  const QualityClasses c = QualityClasses::FromCommunity(p, 512);
+  EXPECT_LE(c.size(), 600u);  // some slack over the nominal cap
+  EXPECT_NEAR(c.total_pages(), 100000.0, 1e-6);
+}
+
+TEST(QualityClassesTest, ValuesDescending) {
+  CommunityParams p = CommunityParams::Default();
+  p.n = 50000;
+  const QualityClasses c = QualityClasses::FromCommunity(p, 256);
+  for (size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c.value[i], c.value[i - 1]);
+  }
+}
+
+TEST(QualityClassesTest, HeadRanksKeepOwnClasses) {
+  CommunityParams p = CommunityParams::Default();
+  p.n = 100000;
+  const QualityClasses c = QualityClasses::FromCommunity(p, 512);
+  // The first few buckets should contain exactly one page each (geometric
+  // spacing), so the head of the distribution is represented exactly.
+  EXPECT_DOUBLE_EQ(c.count[0], 1.0);
+  EXPECT_NEAR(c.value[0], 0.4, 1e-9);
+}
+
+TEST(QualityClassesTest, NearestClass) {
+  CommunityParams p = CommunityParams::Default();
+  p.n = 100;
+  const QualityClasses c = QualityClasses::FromCommunity(p, 2048);
+  EXPECT_EQ(c.NearestClass(0.4), 0u);
+  EXPECT_EQ(c.NearestClass(10.0), 0u);   // clamps to the top class
+  EXPECT_EQ(c.NearestClass(0.0), 99u);   // bottom class
+}
+
+}  // namespace
+}  // namespace randrank

@@ -1,0 +1,249 @@
+#include "model/rank_maps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/awareness.h"
+
+namespace randrank {
+namespace {
+
+TEST(ContinuousF2Test, NormalizesToVisits) {
+  const ContinuousF2 f2 = ContinuousF2::Make(100, 50.0);
+  double total = 0.0;
+  for (size_t i = 1; i <= 100; ++i) total += f2(static_cast<double>(i));
+  EXPECT_NEAR(total, 50.0, 1e-9);
+}
+
+TEST(ContinuousF2Test, ClampsRank) {
+  const ContinuousF2 f2 = ContinuousF2::Make(100, 50.0);
+  EXPECT_DOUBLE_EQ(f2(0.5), f2(1.0));
+  EXPECT_DOUBLE_EQ(f2(1000.0), f2(100.0));
+}
+
+TEST(ContinuousF2Test, MeanOverRangeMatchesDiscreteAverage) {
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 100.0);
+  // Average of F2 over ranks 10..20 vs continuous mean over [10, 20].
+  double discrete = 0.0;
+  for (size_t i = 10; i <= 20; ++i) discrete += f2(static_cast<double>(i));
+  discrete /= 11.0;
+  EXPECT_NEAR(f2.MeanOverRange(10.0, 20.0), discrete, discrete * 0.05);
+}
+
+TEST(ContinuousF2Test, MeanOverDegenerateRange) {
+  const ContinuousF2 f2 = ContinuousF2::Make(100, 10.0);
+  EXPECT_DOUBLE_EQ(f2.MeanOverRange(5.0, 5.0), f2(5.0));
+}
+
+QualityClasses TwoClasses() {
+  QualityClasses c;
+  c.value = {0.4, 0.1};
+  c.count = {10.0, 90.0};
+  return c;
+}
+
+TEST(RankMapTest, AllUnawareRankIsOne) {
+  const QualityClasses classes = TwoClasses();
+  // Everyone at awareness 0: nobody has popularity > 0, F1(x>0) = 1.
+  std::vector<std::vector<double>> awareness(2);
+  awareness[0].assign(11, 0.0);
+  awareness[0][0] = 1.0;
+  awareness[1].assign(11, 0.0);
+  awareness[1][0] = 1.0;
+  const RankMap map(classes, awareness);
+  EXPECT_DOUBLE_EQ(map.DeterministicRank(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(map.zero_awareness_count(), 100.0);
+  EXPECT_DOUBLE_EQ(map.total_pages(), 100.0);
+}
+
+TEST(RankMapTest, AllFullyAwareCounts) {
+  const QualityClasses classes = TwoClasses();
+  std::vector<std::vector<double>> awareness(2);
+  awareness[0].assign(11, 0.0);
+  awareness[0][10] = 1.0;  // popularity 0.4
+  awareness[1].assign(11, 0.0);
+  awareness[1][10] = 1.0;  // popularity 0.1
+  const RankMap map(classes, awareness);
+  // x = 0.2: only the 10 class-0 pages exceed it.
+  EXPECT_DOUBLE_EQ(map.DeterministicRank(0.2), 11.0);
+  // x = 0.05: everyone exceeds it.
+  EXPECT_DOUBLE_EQ(map.DeterministicRank(0.05), 101.0);
+  // x above everything.
+  EXPECT_DOUBLE_EQ(map.DeterministicRank(0.41), 1.0);
+  EXPECT_DOUBLE_EQ(map.zero_awareness_count(), 0.0);
+}
+
+TEST(RankMapTest, MonotoneNonIncreasingInPopularity) {
+  const QualityClasses classes = TwoClasses();
+  const auto F = [](double x) { return 0.5 + 3.0 * x; };
+  std::vector<std::vector<double>> awareness;
+  awareness.push_back(AwarenessDistribution(0.4, 10, 0.01, F));
+  awareness.push_back(AwarenessDistribution(0.1, 10, 0.01, F));
+  const RankMap map(classes, awareness);
+  double prev = map.DeterministicRank(0.0);
+  for (double x = 0.01; x <= 0.4; x += 0.01) {
+    const double cur = map.DeterministicRank(x);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(DisplacedRankTest, ProtectedAboveK) {
+  EXPECT_DOUBLE_EQ(DisplacedRank(2.0, 0.5, 3, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(DisplacedRank(1.0, 0.9, 2, 100.0), 1.0);
+}
+
+TEST(DisplacedRankTest, PaperFormula) {
+  // d >= k: d + r(d-k+1)/(1-r) before saturation.
+  const double d = 10.0;
+  EXPECT_NEAR(DisplacedRank(d, 0.2, 1, 1000.0), d + 0.2 * 10.0 / 0.8, 1e-12);
+}
+
+TEST(DisplacedRankTest, SaturatesAtPoolSize) {
+  EXPECT_DOUBLE_EQ(DisplacedRank(100.0, 0.9, 1, 5.0), 105.0);
+}
+
+TEST(DisplacedRankTest, FullRandomizationPushesByWholePool) {
+  EXPECT_DOUBLE_EQ(DisplacedRank(10.0, 1.0, 1, 50.0), 60.0);
+}
+
+TEST(DisplacedRankTest, ZeroRNoDisplacement) {
+  EXPECT_DOUBLE_EQ(DisplacedRank(10.0, 0.0, 1, 50.0), 10.0);
+}
+
+TEST(MeanF2OverPoolSlotsTest, SingleSlotNearK) {
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 100.0);
+  // One pool page with r = 1 sits exactly at rank k.
+  const double mean = MeanF2OverPoolSlots(f2, 5, 1.0, 1.0);
+  EXPECT_NEAR(mean, f2(5.0), f2(5.0) * 0.1);
+}
+
+TEST(MeanF2OverPoolSlotsTest, SmallerRSpreadsDeeper) {
+  const ContinuousF2 f2 = ContinuousF2::Make(10000, 100.0);
+  const double dense = MeanF2OverPoolSlots(f2, 1, 0.5, 100.0);
+  const double sparse = MeanF2OverPoolSlots(f2, 1, 0.05, 100.0);
+  EXPECT_GT(dense, sparse);  // with small r, slots land far down the list
+}
+
+TEST(MeanF2OverPoolSlotsTest, EmptyPoolZero) {
+  const ContinuousF2 f2 = ContinuousF2::Make(100, 10.0);
+  EXPECT_DOUBLE_EQ(MeanF2OverPoolSlots(f2, 1, 0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(MeanF2OverPoolSlots(f2, 1, 0.0, 10.0), 0.0);
+}
+
+TEST(PromotionVisitMapTest, NoneIsPlainF2OfRank) {
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 100.0);
+  const PromotionVisitMap map(f2, PromotionRule::kNone, 0.0, 1, 50.0, 1000.0);
+  EXPECT_DOUBLE_EQ(map.VisitRate(7.0), f2(7.0));
+}
+
+TEST(PromotionVisitMapTest, SelectiveDisplacesNonPoolPages) {
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 100.0);
+  const PromotionVisitMap map(f2, PromotionRule::kSelective, 0.2, 1, 50.0,
+                              1000.0);
+  EXPECT_LT(map.VisitRate(10.0), f2(10.0));  // pushed down => fewer visits
+}
+
+TEST(PromotionVisitMapTest, SelectiveZeroRateIsPoolDiscoveryRate) {
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 100.0);
+  const PromotionVisitMap map(f2, PromotionRule::kSelective, 0.2, 1, 50.0,
+                              1000.0);
+  EXPECT_NEAR(map.ZeroVisitRate(), PoolDiscoveryRate(f2, 1, 0.2, 50.0),
+              1e-12);
+}
+
+TEST(PromotionVisitMapTest, NoneZeroRateIsBottomBlockAverage) {
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 100.0);
+  const PromotionVisitMap map(f2, PromotionRule::kNone, 0.0, 1, 50.0, 1000.0);
+  // Bottom-block rates are tiny, so the saturated rate equals the mean.
+  EXPECT_NEAR(map.ZeroVisitRate(), f2.MeanOverRange(951.0, 1000.0), 1e-6);
+}
+
+TEST(PoolDiscoveryRateTest, SmallRatesReduceToMeanVisits) {
+  // When every pool slot sees << 1 visit/day the saturation is inactive and
+  // the flux model reduces to ~r-weighted visit shares.
+  const ContinuousF2 f2 = ContinuousF2::Make(100000, 1.0);  // 1 visit/day
+  const double rate = PoolDiscoveryRate(f2, 1, 0.1, 1000.0);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 1.0 / 1000.0);  // cannot exceed total visits / pool
+}
+
+TEST(PoolDiscoveryRateTest, SaturatesAtOneDiscoveryPerSlot) {
+  // Huge visit volume: every interleaved slot discovers exactly once a day.
+  const ContinuousF2 f2 = ContinuousF2::Make(100, 1e9);
+  const double rate = PoolDiscoveryRate(f2, 1, 0.5, 10.0);
+  // flux = sum over ~20 positions of 0.5 * 1 (until pool exhausts) = 10;
+  // per-page rate = 1/day.
+  EXPECT_NEAR(rate, 1.0, 0.1);
+}
+
+TEST(PoolDiscoveryRateTest, LargerRDiscoversFaster) {
+  const ContinuousF2 f2 = ContinuousF2::Make(10000, 1000.0);
+  const double slow = PoolDiscoveryRate(f2, 1, 0.05, 2000.0);
+  const double fast = PoolDiscoveryRate(f2, 1, 0.3, 2000.0);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(PoolDiscoveryRateTest, EmptyPoolZero) {
+  const ContinuousF2 f2 = ContinuousF2::Make(100, 10.0);
+  EXPECT_DOUBLE_EQ(PoolDiscoveryRate(f2, 1, 0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PoolDiscoveryRate(f2, 1, 0.0, 10.0), 0.0);
+}
+
+TEST(PoolDiscoveryRateTest, FullRandomizationPlacesPoolAtTop) {
+  // r = 1: the pool occupies positions k..k+z-1; with heavy traffic every
+  // slot converts daily.
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 1e7);
+  EXPECT_NEAR(PoolDiscoveryRate(f2, 21, 1.0, 30.0), 1.0, 0.05);
+}
+
+TEST(PoolVisitRateTest, ExceedsSaturatedRateUnderHeavyTraffic) {
+  const ContinuousF2 f2 = ContinuousF2::Make(10000, 100000.0);
+  const double saturated = PoolDiscoveryRate(f2, 1, 0.1, 500.0);
+  const double per_query = PoolVisitRate(f2, 1, 0.1, 500.0);
+  EXPECT_GT(per_query, 2.0 * saturated);
+}
+
+TEST(PoolVisitRateTest, MatchesSaturatedAtVeryLightTraffic) {
+  // When every slot sees << 1 visit/day, 1 - exp(-x) ~ x, so the two rates
+  // agree to first order.
+  const ContinuousF2 f2 = ContinuousF2::Make(100000, 0.01);
+  const double visit = PoolVisitRate(f2, 1, 0.1, 1000.0);
+  const double discovery = PoolDiscoveryRate(f2, 1, 0.1, 1000.0);
+  EXPECT_NEAR(visit / discovery, 1.0, 0.01);
+}
+
+TEST(PoolVisitRateTest, AggregateFluxAccountsForInterleaveAndTail) {
+  // det = 100, pool = 900, r = 0.5: the interleave splits visits 50/50
+  // until the det list exhausts near position 200 (~95% of all visit mass),
+  // after which every slot is pool. Expected pool flux:
+  //   0.5 * 1000 * CDF(200) + 1000 * (1 - CDF(200)) ~ 527.
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 1000.0);
+  const double pool = 900.0;
+  const double per_page = PoolVisitRate(f2, 1, 0.5, pool);
+  EXPECT_GT(per_page * pool, 450.0);
+  EXPECT_LT(per_page * pool, 600.0);
+}
+
+TEST(PromotionVisitMapTest, SelectivePromotionLiftsZeroVisitRate) {
+  const ContinuousF2 f2 = ContinuousF2::Make(10000, 100.0);
+  const PromotionVisitMap none(f2, PromotionRule::kNone, 0.0, 1, 500.0,
+                               10000.0);
+  const PromotionVisitMap sel(f2, PromotionRule::kSelective, 0.1, 1, 500.0,
+                              10000.0);
+  EXPECT_GT(sel.ZeroVisitRate(), 10.0 * none.ZeroVisitRate());
+}
+
+TEST(PromotionVisitMapTest, UniformBlendsPoolAverage) {
+  const ContinuousF2 f2 = ContinuousF2::Make(1000, 100.0);
+  const PromotionVisitMap map(f2, PromotionRule::kUniform, 0.3, 1, 50.0,
+                              1000.0);
+  // A top page under uniform promotion loses visits relative to none...
+  EXPECT_LT(map.VisitRate(1.0), f2(1.0));
+  // ...but a bottom page gains.
+  EXPECT_GT(map.VisitRate(900.0), f2(900.0));
+}
+
+}  // namespace
+}  // namespace randrank

@@ -1,0 +1,70 @@
+#include "core/ranking_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace randrank {
+namespace {
+
+TEST(RankPromotionConfigTest, NoneFactory) {
+  const RankPromotionConfig c = RankPromotionConfig::None();
+  EXPECT_EQ(c.rule, PromotionRule::kNone);
+  EXPECT_DOUBLE_EQ(c.r, 0.0);
+  EXPECT_EQ(c.k, 1u);
+  EXPECT_TRUE(c.Valid());
+}
+
+TEST(RankPromotionConfigTest, UniformFactory) {
+  const RankPromotionConfig c = RankPromotionConfig::Uniform(0.3, 2);
+  EXPECT_EQ(c.rule, PromotionRule::kUniform);
+  EXPECT_DOUBLE_EQ(c.r, 0.3);
+  EXPECT_EQ(c.k, 2u);
+  EXPECT_TRUE(c.Valid());
+}
+
+TEST(RankPromotionConfigTest, SelectiveFactory) {
+  const RankPromotionConfig c = RankPromotionConfig::Selective(0.15, 6);
+  EXPECT_EQ(c.rule, PromotionRule::kSelective);
+  EXPECT_DOUBLE_EQ(c.r, 0.15);
+  EXPECT_EQ(c.k, 6u);
+}
+
+TEST(RankPromotionConfigTest, RecommendedRecipeMatchesPaper) {
+  const RankPromotionConfig c = RankPromotionConfig::Recommended();
+  EXPECT_EQ(c.rule, PromotionRule::kSelective);
+  EXPECT_DOUBLE_EQ(c.r, 0.1);
+  EXPECT_EQ(c.k, 1u);
+  const RankPromotionConfig c2 = RankPromotionConfig::Recommended(2);
+  EXPECT_EQ(c2.k, 2u);
+}
+
+TEST(RankPromotionConfigTest, FixedPositionIsSelectiveROne) {
+  const RankPromotionConfig c = RankPromotionConfig::FixedPosition(21);
+  EXPECT_EQ(c.rule, PromotionRule::kSelective);
+  EXPECT_DOUBLE_EQ(c.r, 1.0);
+  EXPECT_EQ(c.k, 21u);
+}
+
+TEST(RankPromotionConfigTest, Validation) {
+  RankPromotionConfig c = RankPromotionConfig::Selective(0.5, 1);
+  EXPECT_TRUE(c.Valid());
+  c.r = 1.5;
+  EXPECT_FALSE(c.Valid());
+  c.r = -0.1;
+  EXPECT_FALSE(c.Valid());
+  c = RankPromotionConfig::None();
+  c.r = 0.2;  // none must have r == 0
+  EXPECT_FALSE(c.Valid());
+  c = RankPromotionConfig::Selective(0.5, 0);
+  EXPECT_FALSE(c.Valid());
+}
+
+TEST(RankPromotionConfigTest, Labels) {
+  EXPECT_EQ(RankPromotionConfig::None().Label(), "none");
+  EXPECT_EQ(RankPromotionConfig::Selective(0.1, 2).Label(),
+            "selective(r=0.10,k=2)");
+  EXPECT_EQ(RankPromotionConfig::Uniform(0.25, 1).Label(),
+            "uniform(r=0.25,k=1)");
+}
+
+}  // namespace
+}  // namespace randrank

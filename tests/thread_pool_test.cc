@@ -1,0 +1,62 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace randrank {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(16);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 3, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    ParallelFor(pool, 50, [&](size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace randrank

@@ -1,0 +1,53 @@
+#include "core/visit_law.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace randrank {
+namespace {
+
+TEST(VisitLawTest, ExpectedVisitsSumToTotal) {
+  VisitLaw law(1000, 100.0);
+  double total = 0.0;
+  for (size_t i = 1; i <= 1000; ++i) total += law.ExpectedVisits(i);
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(VisitLawTest, PowerLawRatio) {
+  VisitLaw law(100, 50.0);
+  EXPECT_NEAR(law.ExpectedVisits(1) / law.ExpectedVisits(4), 8.0, 1e-9);
+}
+
+TEST(VisitLawTest, BeyondNIsZero) {
+  VisitLaw law(10, 5.0);
+  EXPECT_DOUBLE_EQ(law.ExpectedVisits(11), 0.0);
+}
+
+TEST(VisitLawTest, SampleRankMatchesExpectedShare) {
+  VisitLaw law(500, 100.0);
+  Rng rng(3);
+  double rank1 = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) rank1 += law.SampleRank(rng) == 1;
+  EXPECT_NEAR(rank1 / kDraws, law.ExpectedVisits(1) / 100.0, 0.01);
+}
+
+TEST(VisitLawTest, RankProbabilityConsistentWithExpectedVisits) {
+  VisitLaw law(200, 70.0);
+  for (size_t rank : {1ul, 5ul, 50ul, 200ul}) {
+    EXPECT_NEAR(law.RankProbability(rank) * 70.0, law.ExpectedVisits(rank),
+                1e-9);
+  }
+}
+
+TEST(VisitLawTest, CustomExponent) {
+  VisitLaw law(100, 10.0, 2.0);
+  EXPECT_NEAR(law.ExpectedVisits(1) / law.ExpectedVisits(2), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(law.exponent(), 2.0);
+}
+
+}  // namespace
+}  // namespace randrank
