@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -35,6 +36,23 @@ inline void RegisterCounterBenchmark(
                                  }
                                })
       ->Iterations(1);
+}
+
+/// Emits one machine-readable JSON object per line (JSONL) so perf benches
+/// can be tracked across commits without parsing the human-oriented tables:
+///   {"bench":"<name>","qps":12345.6,...}
+/// Keys come from the map (sorted, so output is diff-stable); values are
+/// printed with max_digits10 precision so doubles round-trip exactly.
+inline void EmitJsonLine(std::ostream& os, const std::string& name,
+                         const std::map<std::string, double>& fields) {
+  os << "{\"bench\":\"" << name << '"';
+  const auto precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [key, value] : fields) {
+    os << ",\"" << key << "\":" << value;
+  }
+  os.precision(precision);
+  os << "}\n";
 }
 
 /// Standard tail for figure benches: run the registered counter benchmarks

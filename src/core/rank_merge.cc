@@ -6,6 +6,79 @@
 
 namespace randrank {
 
+void PoolPrefixSampler::Reset(const uint32_t* pool, size_t size) {
+  pool_ = pool;
+  size_ = size;
+  taken_ = 0;
+  moved_.clear();
+}
+
+uint32_t PoolPrefixSampler::Value(size_t slot) const {
+  const auto it = moved_.find(slot);
+  return it == moved_.end() ? pool_[slot] : it->second;
+}
+
+uint32_t PoolPrefixSampler::Next(Rng& rng) {
+  assert(taken_ < size_);
+  const size_t i = taken_++;
+  const size_t j = i + rng.NextIndex(size_ - i);
+  const uint32_t result = Value(j);
+  if (j != i) {
+    // Classic Fisher-Yates swap, recorded sparsely: slot j now holds what
+    // slot i held; slot i is never revisited, so its entry can be dropped.
+    moved_[j] = Value(i);
+    moved_.erase(i);
+  }
+  return result;
+}
+
+size_t MergePrefix(const RankPromotionConfig& config,
+                   const std::vector<uint32_t>& det,
+                   const std::vector<uint32_t>& pool, size_t m, Rng& rng,
+                   std::vector<uint32_t>* out) {
+  const size_t count = std::min(m, det.size() + pool.size());
+  const size_t protected_prefix = std::min(config.k - 1, det.size());
+  PoolPrefixSampler sampler(pool.data(), pool.size());
+  size_t d = 0;
+  size_t appended = 0;
+  while (appended < count && d < protected_prefix) {
+    out->push_back(det[d++]);
+    ++appended;
+  }
+  while (appended < count) {
+    const bool from_pool = NextSlotFromPool(config.r, det.size() - d,
+                                            sampler.remaining(), rng);
+    out->push_back(from_pool ? sampler.Next(rng) : det[d++]);
+    ++appended;
+  }
+  return count;
+}
+
+uint32_t ResolveRankLazy(const RankPromotionConfig& config,
+                         const std::vector<uint32_t>& det,
+                         const std::vector<uint32_t>& pool, size_t rank,
+                         Rng& rng) {
+  assert(rank >= 1 && rank <= det.size() + pool.size());
+  const size_t protected_prefix = std::min(config.k - 1, det.size());
+  if (rank <= protected_prefix) return det[rank - 1];
+  if (pool.empty()) return det[rank - 1];
+
+  size_t d = protected_prefix;  // det entries consumed
+  size_t s = 0;                 // pool entries consumed
+  for (size_t pos = protected_prefix + 1; pos <= rank; ++pos) {
+    const bool from_pool =
+        NextSlotFromPool(config.r, det.size() - d, pool.size() - s, rng);
+    if (pos == rank) {
+      // The s-th element of a uniformly shuffled pool is marginally uniform
+      // over the pool, so a single-slot resolution may draw uniformly.
+      return from_pool ? pool[rng.NextIndex(pool.size())] : det[d];
+    }
+    from_pool ? ++s : ++d;
+  }
+  assert(false && "unreachable");
+  return 0;
+}
+
 Ranker::Ranker(RankPromotionConfig config) : config_(config) {
   assert(config_.Valid());
 }
@@ -20,26 +93,14 @@ void Ranker::Update(const std::vector<double>& popularity,
   det_.clear();
   pool_.clear();
   det_.reserve(n);
-  switch (config_.rule) {
-    case PromotionRule::kNone:
-      for (uint32_t p = 0; p < n; ++p) det_.push_back(p);
-      break;
-    case PromotionRule::kUniform:
-      for (uint32_t p = 0; p < n; ++p) {
-        (rng.NextBernoulli(config_.r) ? pool_ : det_).push_back(p);
-      }
-      break;
-    case PromotionRule::kSelective:
-      for (uint32_t p = 0; p < n; ++p) {
-        (zero_awareness[p] ? pool_ : det_).push_back(p);
-      }
-      break;
+  for (uint32_t p = 0; p < n; ++p) {
+    (PromoteToPool(config_, zero_awareness[p] != 0, rng) ? pool_ : det_)
+        .push_back(p);
   }
 
   std::sort(det_.begin(), det_.end(), [&](uint32_t a, uint32_t b) {
-    if (popularity[a] != popularity[b]) return popularity[a] > popularity[b];
-    if (birth_step[a] != birth_step[b]) return birth_step[a] < birth_step[b];
-    return a < b;
+    return RankOrderBefore(popularity[a], birth_step[a], a, popularity[b],
+                           birth_step[b], b);
   });
 }
 
@@ -74,45 +135,21 @@ std::vector<uint32_t> Ranker::MaterializeWithPositions(
   };
   while (d < protected_prefix) place(false);
   while (d < det_.size() || s < shuffled_pool.size()) {
-    bool from_pool;
-    if (s >= shuffled_pool.size()) {
-      from_pool = false;
-    } else if (d >= det_.size()) {
-      from_pool = true;
-    } else {
-      from_pool = rng.NextBernoulli(config_.r);
-    }
-    place(from_pool);
+    place(NextSlotFromPool(config_.r, det_.size() - d,
+                           shuffled_pool.size() - s, rng));
   }
   return out;
 }
 
 uint32_t Ranker::PageAtRank(size_t rank, Rng& rng) const {
-  assert(rank >= 1 && rank <= n());
-  const size_t protected_prefix = std::min(config_.k - 1, det_.size());
-  if (rank <= protected_prefix) return det_[rank - 1];
-  if (pool_.empty()) return det_[rank - 1];
+  return ResolveRankLazy(config_, det_, pool_, rank, rng);
+}
 
-  size_t d = protected_prefix;  // det entries consumed
-  size_t s = 0;                 // pool entries consumed
-  for (size_t pos = protected_prefix + 1; pos <= rank; ++pos) {
-    bool from_pool;
-    if (s >= pool_.size()) {
-      from_pool = false;
-    } else if (d >= det_.size()) {
-      from_pool = true;
-    } else {
-      from_pool = rng.NextBernoulli(config_.r);
-    }
-    if (pos == rank) {
-      // The s-th element of a uniformly shuffled pool is marginally uniform
-      // over the pool, so a single-slot resolution may draw uniformly.
-      return from_pool ? pool_[rng.NextIndex(pool_.size())] : det_[d];
-    }
-    from_pool ? ++s : ++d;
-  }
-  assert(false && "unreachable");
-  return 0;
+std::vector<uint32_t> Ranker::TopM(size_t m, Rng& rng) const {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(m, n()));
+  MergePrefix(config_, det_, pool_, m, rng, &out);
+  return out;
 }
 
 }  // namespace randrank

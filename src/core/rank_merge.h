@@ -2,12 +2,110 @@
 #define RANDRANK_CORE_RANK_MERGE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ranking_policy.h"
 #include "util/rng.h"
 
 namespace randrank {
+
+/// The global deterministic ranking key (Appendix A): popularity descending,
+/// ties by age (older, i.e. smaller birth step, first), then by page id.
+/// Every sorted deterministic list in the system — Ranker::Update, the
+/// per-shard serving snapshots, and the cross-shard merge — must order by
+/// exactly this predicate, or sharded serving silently stops matching the
+/// unsharded distribution. Keep it in one place.
+inline bool RankOrderBefore(double score_a, int64_t birth_a, uint32_t page_a,
+                            double score_b, int64_t birth_b, uint32_t page_b) {
+  if (score_a != score_b) return score_a > score_b;
+  if (birth_a != birth_b) return birth_a < birth_b;
+  return page_a < page_b;
+}
+
+/// The promotion-pool membership decision (paper Section 4): whether a page
+/// with the given zero-awareness flag enters Pp under `config`. Like
+/// RankOrderBefore, this is the single source of truth — Ranker::Update, the
+/// serving snapshots, and the simulator's ghost placement must all agree or
+/// sharded serving silently diverges from the simulated distribution. Draws
+/// from `rng` only under the uniform rule.
+inline bool PromoteToPool(const RankPromotionConfig& config,
+                          bool zero_awareness, Rng& rng) {
+  switch (config.rule) {
+    case PromotionRule::kNone:
+      return false;
+    case PromotionRule::kUniform:
+      return rng.NextBernoulli(config.r);
+    case PromotionRule::kSelective:
+      return zero_awareness;
+  }
+  return false;
+}
+
+/// One slot of the merge cascade (Section 4): whether the next result-list
+/// position is filled from the shuffled pool (true) or the deterministic
+/// list (false), given how many entries each side still has. The biased coin
+/// is only tossed while both sides are non-empty. Third piece of the
+/// single-source-of-truth set (with RankOrderBefore and PromoteToPool):
+/// every materialization/lazy/serving merge must consult this helper.
+inline bool NextSlotFromPool(double r, size_t det_remaining,
+                             size_t pool_remaining, Rng& rng) {
+  if (pool_remaining == 0) return false;
+  if (det_remaining == 0) return true;
+  return rng.NextBernoulli(r);
+}
+
+/// Draws elements of a fixed pool uniformly at random without replacement,
+/// resolving only the slots actually requested (sparse Fisher-Yates: swaps
+/// are recorded in a hash map instead of a copied array). Drawing the first
+/// m of z pool elements costs O(m) expected time and memory, independent of
+/// z — the property the serving layer relies on to answer top-m queries
+/// without materializing the whole pool.
+///
+/// The referenced pool array must outlive the sampler and stay unchanged
+/// until the next Reset(). Reset() rebinds without releasing the map's
+/// capacity, so a per-query sampler does not reallocate in steady state.
+class PoolPrefixSampler {
+ public:
+  PoolPrefixSampler() = default;
+  PoolPrefixSampler(const uint32_t* pool, size_t size) { Reset(pool, size); }
+
+  /// Rebinds to a new pool and restarts the shuffle.
+  void Reset(const uint32_t* pool, size_t size);
+
+  /// Next element of the lazily shuffled pool. remaining() must be > 0.
+  uint32_t Next(Rng& rng);
+
+  size_t remaining() const { return size_ - taken_; }
+  size_t size() const { return size_; }
+
+ private:
+  uint32_t Value(size_t slot) const;
+
+  const uint32_t* pool_ = nullptr;
+  size_t size_ = 0;
+  size_t taken_ = 0;
+  std::unordered_map<size_t, uint32_t> moved_;  // slot -> displaced value
+};
+
+/// Appends the first min(m, det.size() + pool.size()) slots of a fresh
+/// random realization of the merged list to `out` and returns how many were
+/// appended. Identical in distribution to the prefix of MaterializeList, but
+/// costs O(m + k) expected time instead of O(n): the deterministic list is
+/// consumed in order and pool draws use a PoolPrefixSampler. This is the
+/// serve-path primitive behind ShardedRankServer.
+size_t MergePrefix(const RankPromotionConfig& config,
+                   const std::vector<uint32_t>& det,
+                   const std::vector<uint32_t>& pool, size_t m, Rng& rng,
+                   std::vector<uint32_t>* out);
+
+/// Resolves the page occupying `rank` (1-based) in an independent random
+/// realization of (det, pool) merged under `config`, in O(rank) time.
+/// Shared by Ranker::PageAtRank and the serving snapshots.
+uint32_t ResolveRankLazy(const RankPromotionConfig& config,
+                         const std::vector<uint32_t>& det,
+                         const std::vector<uint32_t>& pool, size_t rank,
+                         Rng& rng);
 
 /// Executes the paper's ranking pipeline for one time step (Section 4):
 ///
@@ -53,6 +151,10 @@ class Ranker {
   /// Resolves the page occupying `rank` (1-based) in an independent random
   /// realization of the merged list, without building the list.
   uint32_t PageAtRank(size_t rank, Rng& rng) const;
+
+  /// First min(m, n()) slots of an independent random realization, in O(m)
+  /// expected time (see MergePrefix). Marginals match MaterializeList.
+  std::vector<uint32_t> TopM(size_t m, Rng& rng) const;
 
   /// Deterministically ranked pages (Ld), best first.
   const std::vector<uint32_t>& deterministic_order() const { return det_; }

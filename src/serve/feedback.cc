@@ -1,0 +1,63 @@
+#include "serve/feedback.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace randrank {
+namespace {
+
+uint32_t RoundStochastic(double x, Rng& rng) {
+  const double floor_x = std::floor(x);
+  const double frac = x - floor_x;
+  return static_cast<uint32_t>(floor_x) + (rng.NextBernoulli(frac) ? 1 : 0);
+}
+
+}  // namespace
+
+size_t ServingPageState::ZeroAwarenessPages() const {
+  size_t count = 0;
+  for (const uint8_t z : zero_awareness) count += z;
+  return count;
+}
+
+ServingPageState MakeServingPageState(const CommunityParams& params, Rng& rng) {
+  assert(params.Valid());
+  ServingPageState state;
+  state.users = params.u;
+  state.quality = params.QualityValues();
+  // QualityValues is descending by construction; shuffle the assignment so
+  // page id (and therefore shard placement) carries no quality signal.
+  for (size_t i = state.quality.size(); i > 1; --i) {
+    std::swap(state.quality[i - 1], state.quality[rng.NextIndex(i)]);
+  }
+  state.aware.assign(params.n, 0);
+  state.popularity.assign(params.n, 0.0);
+  state.zero_awareness.assign(params.n, 1);
+  state.birth_step.assign(params.n, 0);
+  return state;
+}
+
+void FoldVisits(const std::vector<uint64_t>& visits, ServingPageState* state,
+                Rng& rng) {
+  assert(visits.size() == state->n());
+  const auto u = static_cast<double>(state->users);
+  for (size_t p = 0; p < visits.size(); ++p) {
+    const uint64_t v = visits[p];
+    if (v == 0) continue;
+    const double unaware = u - static_cast<double>(state->aware[p]);
+    if (unaware <= 0.0) continue;
+    const double hit_prob =
+        1.0 - std::pow(1.0 - 1.0 / u, static_cast<double>(v));
+    const uint32_t converts =
+        std::min(static_cast<uint32_t>(unaware),
+                 RoundStochastic(unaware * hit_prob, rng));
+    if (converts == 0) continue;
+    state->aware[p] += converts;
+    state->popularity[p] =
+        state->quality[p] * static_cast<double>(state->aware[p]) / u;
+    state->zero_awareness[p] = 0;
+  }
+}
+
+}  // namespace randrank

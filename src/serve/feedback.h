@@ -1,0 +1,49 @@
+#ifndef RANDRANK_SERVE_FEEDBACK_H_
+#define RANDRANK_SERVE_FEEDBACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/community.h"
+#include "util/rng.h"
+
+namespace randrank {
+
+/// The mutable page state the serving loop feeds back into: the same
+/// popularity/awareness signal AgentSimulator maintains, in the layout
+/// ShardedRankServer::Update consumes. The serve loop alternates
+///   serve queries -> DrainVisits -> FoldVisits -> server.Update(state)
+/// which closes the simulate → serve loop: observed clicks change awareness,
+/// awareness changes popularity, popularity changes the next snapshot.
+struct ServingPageState {
+  size_t users = 0;
+  std::vector<double> quality;         // fixed per page
+  std::vector<uint32_t> aware;         // aware users per page (<= users)
+  std::vector<double> popularity;      // quality * aware / users
+  std::vector<uint8_t> zero_awareness; // 1 while no user has seen the page
+  std::vector<int64_t> birth_step;
+
+  size_t n() const { return quality.size(); }
+  /// Pages no user is aware of yet (the selective rule's pool).
+  size_t ZeroAwarenessPages() const;
+};
+
+/// Fresh community: page qualities from the paper's stationary power-law
+/// quantiles (assigned in random order so quality is independent of page id
+/// and thus of shard placement), nobody aware of anything, all pages born at
+/// step 0.
+ServingPageState MakeServingPageState(const CommunityParams& params, Rng& rng);
+
+/// Folds one drained batch of per-page visit counts into awareness and
+/// popularity, using the simulator's batched conversion model: V uniform
+/// visitors convert each of the (u - A) unaware users with probability
+/// 1 - (1 - 1/u)^V; the expected number of conversions is applied with
+/// stochastic rounding (AgentSimulator::VisitPageBatch's update, without the
+/// monitored split — the serving engine idealizes the monitored sample as
+/// representative, paper Section 3.1).
+void FoldVisits(const std::vector<uint64_t>& visits, ServingPageState* state,
+                Rng& rng);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_SERVE_FEEDBACK_H_

@@ -1,0 +1,55 @@
+#include "serve/rank_snapshot.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/rank_merge.h"
+
+namespace randrank {
+
+size_t RankSnapshot::TopM(size_t m, Rng& rng, std::vector<uint32_t>* out) const {
+  return MergePrefix(config, det, pool, m, rng, out);
+}
+
+uint32_t RankSnapshot::PageAtRank(size_t rank, Rng& rng) const {
+  return ResolveRankLazy(config, det, pool, rank, rng);
+}
+
+std::shared_ptr<const RankSnapshot> RankSnapshot::Build(
+    const RankPromotionConfig& config, uint64_t epoch,
+    const std::vector<uint32_t>& pages, const std::vector<double>& popularity,
+    const std::vector<uint8_t>& zero_awareness,
+    const std::vector<int64_t>& birth_step, Rng& rng) {
+  assert(config.Valid());
+  auto snap = std::make_shared<RankSnapshot>();
+  snap->epoch = epoch;
+  snap->config = config;
+  snap->det.reserve(pages.size());
+
+  for (const uint32_t p : pages) {
+    assert(p < popularity.size());
+    (PromoteToPool(config, zero_awareness[p] != 0, rng) ? snap->pool
+                                                        : snap->det)
+        .push_back(p);
+  }
+
+  std::sort(snap->det.begin(), snap->det.end(), [&](uint32_t a, uint32_t b) {
+    return RankOrderBefore(popularity[a], birth_step[a], a, popularity[b],
+                           birth_step[b], b);
+  });
+  snap->det_score.reserve(snap->det.size());
+  snap->det_birth.reserve(snap->det.size());
+  for (const uint32_t p : snap->det) {
+    snap->det_score.push_back(popularity[p]);
+    snap->det_birth.push_back(birth_step[p]);
+  }
+  return snap;
+}
+
+size_t ServingView::n() const {
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard->n();
+  return total;
+}
+
+}  // namespace randrank

@@ -1,0 +1,68 @@
+#ifndef RANDRANK_SERVE_RANK_SNAPSHOT_H_
+#define RANDRANK_SERVE_RANK_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ranking_policy.h"
+#include "util/rng.h"
+
+namespace randrank {
+
+/// An immutable snapshot of one shard's ranking state: the deterministic
+/// order Ld (best first, with the sort keys kept alongside for cross-shard
+/// merging) plus the promotion pool Pp. Built off the serving path by the
+/// writer, published via SnapshotStore, and shared read-only by every worker
+/// thread — queries against a snapshot take no locks and perform no writes,
+/// so a snapshot may be read concurrently by any number of threads while the
+/// writer assembles its successor.
+struct RankSnapshot {
+  /// Monotone publish generation; every shard snapshot in one ServingView
+  /// carries the same epoch.
+  uint64_t epoch = 0;
+  RankPromotionConfig config;
+
+  /// Deterministically ranked pages of this shard, best first (global ids).
+  std::vector<uint32_t> det;
+  /// Sort keys of `det`, kept so a cross-shard merge can interleave several
+  /// shards' lists exactly as one global sort would have.
+  std::vector<double> det_score;
+  std::vector<int64_t> det_birth;
+  /// Promotion pool of this shard (unshuffled, global ids).
+  std::vector<uint32_t> pool;
+
+  size_t n() const { return det.size() + pool.size(); }
+
+  /// First min(m, n()) slots of a fresh random realization of this shard's
+  /// merged list, appended to `out`, in O(m) expected time.
+  size_t TopM(size_t m, Rng& rng, std::vector<uint32_t>* out) const;
+
+  /// Page at `rank` (1-based) in an independent realization, O(rank).
+  uint32_t PageAtRank(size_t rank, Rng& rng) const;
+
+  /// Builds a snapshot for the shard owning `pages` from global page state,
+  /// mirroring Ranker::Update: pool membership per `config.rule`, then the
+  /// remainder sorted by (popularity desc, birth asc, id asc). `rng` is only
+  /// drawn from under the uniform rule (pool membership is re-sampled per
+  /// build, as in Ranker).
+  static std::shared_ptr<const RankSnapshot> Build(
+      const RankPromotionConfig& config, uint64_t epoch,
+      const std::vector<uint32_t>& pages, const std::vector<double>& popularity,
+      const std::vector<uint8_t>& zero_awareness,
+      const std::vector<int64_t>& birth_step, Rng& rng);
+};
+
+/// One published generation of the whole server: every shard's snapshot,
+/// swapped in atomically as a unit so a query never observes shards from two
+/// different epochs (cross-shard snapshot isolation).
+struct ServingView {
+  uint64_t epoch = 0;
+  std::vector<std::shared_ptr<const RankSnapshot>> shards;
+
+  size_t n() const;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_SERVE_RANK_SNAPSHOT_H_

@@ -1,0 +1,166 @@
+#include "serve/sharded_rank_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace randrank {
+
+ShardedRankServer::ShardedRankServer(RankPromotionConfig config,
+                                     size_t num_pages, ServeOptions options)
+    : config_(config),
+      n_(num_pages),
+      opts_(options),
+      writer_rng_(Rng::ForStream(options.seed, 0)),
+      visit_counts_(num_pages, 0) {
+  assert(config_.Valid());
+  const size_t shards = std::max<size_t>(1, opts_.shards);
+  shard_pages_.resize(std::min(shards, std::max<size_t>(1, num_pages)));
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    shard_pages_[p % shard_pages_.size()].push_back(p);
+  }
+}
+
+void ShardedRankServer::Update(const std::vector<double>& popularity,
+                               const std::vector<uint8_t>& zero_awareness,
+                               const std::vector<int64_t>& birth_step,
+                               ThreadPool* pool) {
+  assert(popularity.size() == n_);
+  assert(zero_awareness.size() == n_);
+  assert(birth_step.size() == n_);
+
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  auto view = std::make_shared<ServingView>();
+  view->epoch = epoch;
+  view->shards.resize(shard_pages_.size());
+
+  // Each shard build gets a forked rng so parallel builds stay independent
+  // and the build is deterministic given the writer stream.
+  std::vector<Rng> build_rngs;
+  build_rngs.reserve(shard_pages_.size());
+  for (size_t s = 0; s < shard_pages_.size(); ++s) {
+    build_rngs.push_back(writer_rng_.Fork());
+  }
+
+  auto build_shard = [&](size_t s) {
+    view->shards[s] =
+        RankSnapshot::Build(config_, epoch, shard_pages_[s], popularity,
+                            zero_awareness, birth_step, build_rngs[s]);
+  };
+  if (pool != nullptr && shard_pages_.size() > 1) {
+    ParallelFor(*pool, shard_pages_.size(), build_shard);
+  } else {
+    for (size_t s = 0; s < shard_pages_.size(); ++s) build_shard(s);
+  }
+
+  store_.Publish(std::move(view));
+  epoch_.store(epoch, std::memory_order_release);
+}
+
+ShardedRankServer::Context ShardedRankServer::CreateContext() const {
+  Context ctx;
+  ctx.handle_ = SnapshotHandle<ServingView>(&store_);
+  // Stream 0 belongs to the writer; contexts take 1, 2, ...
+  const uint64_t stream =
+      1 + context_seq_.fetch_add(1, std::memory_order_relaxed);
+  ctx.rng_ = Rng::ForStream(opts_.seed, stream);
+  ctx.visit_batch_.reserve(opts_.feedback_batch);
+  const size_t shards = shard_pages_.size();
+  ctx.snaps_.resize(shards);
+  ctx.det_cursor_.resize(shards);
+  ctx.samplers_.resize(shards);
+  return ctx;
+}
+
+size_t ShardedRankServer::ServeTopM(Context& ctx, size_t m,
+                                    std::vector<uint32_t>* out) const {
+  out->clear();
+  const ServingView* view = ctx.handle_.Get();
+  if (view == nullptr || m == 0) return 0;
+
+  const size_t shards = view->shards.size();
+  size_t det_remaining = 0;
+  size_t pool_remaining = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const RankSnapshot* snap = view->shards[s].get();
+    ctx.snaps_[s] = snap;
+    ctx.det_cursor_[s] = 0;
+    ctx.samplers_[s].Reset(snap->pool.data(), snap->pool.size());
+    det_remaining += snap->det.size();
+    pool_remaining += snap->pool.size();
+  }
+
+  const size_t count = std::min(m, det_remaining + pool_remaining);
+  Rng& rng = ctx.rng_;
+
+  // Next element of the global deterministic order: the best head among the
+  // shards' sorted lists under the global key (score desc, birth asc, id
+  // asc). Linear scan over S shards; S is small on purpose.
+  auto next_det = [&]() -> uint32_t {
+    size_t best = shards;
+    for (size_t s = 0; s < shards; ++s) {
+      const RankSnapshot* snap = ctx.snaps_[s];
+      const size_t c = ctx.det_cursor_[s];
+      if (c >= snap->det.size()) continue;
+      if (best == shards) {
+        best = s;
+        continue;
+      }
+      const RankSnapshot* bs = ctx.snaps_[best];
+      const size_t bc = ctx.det_cursor_[best];
+      if (RankOrderBefore(snap->det_score[c], snap->det_birth[c], snap->det[c],
+                          bs->det_score[bc], bs->det_birth[bc], bs->det[bc])) {
+        best = s;
+      }
+    }
+    assert(best < shards);
+    --det_remaining;
+    return ctx.snaps_[best]->det[ctx.det_cursor_[best]++];
+  };
+
+  const size_t protected_prefix = std::min(config_.k - 1, det_remaining);
+  while (out->size() < count && out->size() < protected_prefix) {
+    out->push_back(next_det());
+  }
+  while (out->size() < count) {
+    if (NextSlotFromPool(config_.r, det_remaining, pool_remaining, rng)) {
+      // Uniform draw from the remaining global pool: pick a shard weighted
+      // by its remaining pool mass, then draw without replacement inside it.
+      uint64_t t = rng.NextIndex(pool_remaining);
+      size_t s = 0;
+      while (t >= ctx.samplers_[s].remaining()) {
+        t -= ctx.samplers_[s].remaining();
+        ++s;
+      }
+      out->push_back(ctx.samplers_[s].Next(rng));
+      --pool_remaining;
+    } else {
+      out->push_back(next_det());
+    }
+  }
+  return count;
+}
+
+void ShardedRankServer::RecordVisit(Context& ctx, uint32_t page) {
+  assert(page < n_);
+  ctx.visit_batch_.push_back(page);
+  if (ctx.visit_batch_.size() >= opts_.feedback_batch) FlushFeedback(ctx);
+}
+
+void ShardedRankServer::FlushFeedback(Context& ctx) {
+  if (ctx.visit_batch_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mutex_);
+    for (const uint32_t page : ctx.visit_batch_) ++visit_counts_[page];
+  }
+  total_visits_.fetch_add(ctx.visit_batch_.size(), std::memory_order_relaxed);
+  ctx.visit_batch_.clear();
+}
+
+std::vector<uint64_t> ShardedRankServer::DrainVisits() {
+  std::vector<uint64_t> drained(n_, 0);
+  std::lock_guard<std::mutex> lock(feedback_mutex_);
+  visit_counts_.swap(drained);
+  return drained;
+}
+
+}  // namespace randrank

@@ -1,0 +1,137 @@
+#ifndef RANDRANK_SERVE_SHARDED_RANK_SERVER_H_
+#define RANDRANK_SERVE_SHARDED_RANK_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/rank_merge.h"
+#include "core/ranking_policy.h"
+#include "serve/rank_snapshot.h"
+#include "serve/snapshot_store.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace randrank {
+
+struct ServeOptions {
+  /// Number of shards pages are partitioned across (page p lives on shard
+  /// p % shards). 0 selects 1.
+  size_t shards = 4;
+  /// Visits buffered per context before RecordVisit folds them into the
+  /// shared feedback counters (amortizes the feedback lock).
+  size_t feedback_batch = 256;
+  /// Base seed; each serving context gets its own non-overlapping stream.
+  uint64_t seed = 0x5eedULL;
+};
+
+/// Multi-threaded query-serving engine for randomized rank promotion: each
+/// query receives the first m slots of a *fresh* random realization of the
+/// merged list (paper Section 4), resolved in O(m·S) expected time without
+/// materializing the n-page list.
+///
+/// Concurrency model — single writer, many readers:
+///  * Pages are partitioned across S shards. The writer thread calls
+///    Update() with new page state; it rebuilds every shard's RankSnapshot
+///    off the serving path (optionally in parallel on a ThreadPool) and then
+///    publishes all of them as one ServingView in a single atomic swap, so
+///    queries are snapshot-isolated across shards: a query never mixes
+///    ranking state from two different epochs.
+///  * Each serving thread owns a Context (per-thread Rng stream, cached
+///    snapshot handle, merge scratch, feedback batch). The query hot path
+///    performs one atomic version check and otherwise touches only
+///    immutable snapshot data and context-local scratch — no locks.
+///  * Observed result clicks flow back through RecordVisit(); the writer
+///    drains the aggregated per-page counts with DrainVisits() and folds
+///    them into popularity/awareness for the next Update (see
+///    serve/feedback.h), closing the simulate → serve loop.
+///
+/// Distribution guarantee: ServeTopM over S shards is distributed exactly as
+/// the first m slots of Ranker::MaterializeList over the same global page
+/// state. Deterministic entries are interleaved by an S-way merge on the
+/// global sort key, and pool draws pick a shard weighted by its remaining
+/// pool mass, then draw without replacement inside it — which is precisely a
+/// uniform draw from the remaining global pool.
+class ShardedRankServer {
+ public:
+  /// A serving thread's private state. Create one per worker via
+  /// CreateContext(); a Context must not be used by two threads at once.
+  class Context {
+   public:
+    Rng& rng() { return rng_; }
+    /// Visits recorded but not yet folded into the shared counters.
+    size_t pending_feedback() const { return visit_batch_.size(); }
+
+   private:
+    friend class ShardedRankServer;
+
+    SnapshotHandle<ServingView> handle_;
+    Rng rng_{0};
+    std::vector<uint32_t> visit_batch_;
+    // Per-query merge scratch, reused across queries to avoid allocation.
+    std::vector<const RankSnapshot*> snaps_;
+    std::vector<size_t> det_cursor_;
+    std::vector<PoolPrefixSampler> samplers_;
+  };
+
+  ShardedRankServer(RankPromotionConfig config, size_t num_pages,
+                    ServeOptions options = {});
+
+  // --- Writer API (one thread at a time) ---
+
+  /// Rebuilds every shard snapshot from global page state and publishes them
+  /// as one new epoch. Safe to call while readers are serving. When `pool`
+  /// is non-null the per-shard builds run on it in parallel.
+  void Update(const std::vector<double>& popularity,
+              const std::vector<uint8_t>& zero_awareness,
+              const std::vector<int64_t>& birth_step,
+              ThreadPool* pool = nullptr);
+
+  /// Returns the accumulated per-page visit counts and resets them.
+  std::vector<uint64_t> DrainVisits();
+
+  // --- Read path (any number of threads, each with its own Context) ---
+
+  /// Context with its own non-overlapping Rng stream. Thread-safe.
+  Context CreateContext() const;
+
+  /// Writes the first min(m, n) slots of a fresh realization into `out`
+  /// (cleared first) and returns the count. Returns 0 before the first
+  /// Update(). Lock-free in steady state.
+  size_t ServeTopM(Context& ctx, size_t m, std::vector<uint32_t>* out) const;
+
+  /// Records a served-result click for the feedback loop. Batched per
+  /// context; call FlushFeedback when a context retires.
+  void RecordVisit(Context& ctx, uint32_t page);
+  void FlushFeedback(Context& ctx);
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t total_visits() const {
+    return total_visits_.load(std::memory_order_relaxed);
+  }
+  size_t n() const { return n_; }
+  size_t shards() const { return shard_pages_.size(); }
+  const RankPromotionConfig& config() const { return config_; }
+
+ private:
+  RankPromotionConfig config_;
+  size_t n_;
+  ServeOptions opts_;
+  std::vector<std::vector<uint32_t>> shard_pages_;  // page ids per shard
+
+  SnapshotStore<ServingView> store_;
+  std::atomic<uint64_t> epoch_{0};
+  Rng writer_rng_;
+
+  mutable std::atomic<uint64_t> context_seq_{0};
+
+  mutable std::mutex feedback_mutex_;
+  std::vector<uint64_t> visit_counts_;
+  std::atomic<uint64_t> total_visits_{0};
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_SERVE_SHARDED_RANK_SERVER_H_

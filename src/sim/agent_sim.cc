@@ -285,9 +285,7 @@ size_t AgentSimulator::GhostListPosition(const Ghost& ghost, Rng& rng) const {
   const bool ghost_zero =
       opts_.measured_ranking ? ghost.aware_monitored == 0
                              : (ghost.aware_monitored + ghost.aware_unmonitored) == 0;
-  const bool in_pool =
-      (config_.rule == PromotionRule::kSelective && ghost_zero) ||
-      (config_.rule == PromotionRule::kUniform && rng.NextBernoulli(config_.r));
+  const bool in_pool = PromoteToPool(config_, ghost_zero, rng);
   if (in_pool) {
     if (pool_positions_.empty()) {
       const size_t hop = GeometricOneBased(rng, config_.r);

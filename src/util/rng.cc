@@ -120,4 +120,38 @@ double Rng::NextGaussian() {
 
 Rng Rng::Fork() { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
 
+void Rng::LongJump() {
+  // Constants from the xoshiro256++ reference implementation (Blackman &
+  // Vigna); equivalent to 2^192 calls of operator().
+  static constexpr uint64_t kJump[4] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  uint64_t s0 = 0;
+  uint64_t s1 = 0;
+  uint64_t s2 = 0;
+  uint64_t s3 = 0;
+  for (const uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  have_cached_gaussian_ = false;
+}
+
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  Rng rng(seed);
+  for (uint64_t i = 0; i < stream; ++i) rng.LongJump();
+  return rng;
+}
+
 }  // namespace randrank

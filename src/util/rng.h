@@ -49,6 +49,16 @@ class Rng {
   /// Derives an independent generator for a parallel task or subsystem.
   Rng Fork();
 
+  /// Advances the state by 2^192 draws (xoshiro256++ long-jump). Partitions
+  /// one seed's sequence into non-overlapping streams of 2^192 draws each.
+  void LongJump();
+
+  /// Stream `stream` of the sequence seeded by `seed`: Rng(seed) advanced by
+  /// `stream` long-jumps. Distinct streams never overlap, which makes this
+  /// the preferred way to hand each serving worker its own generator.
+  /// Cost is O(stream), so derive streams once at worker creation.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t state_[4];
   bool have_cached_gaussian_ = false;

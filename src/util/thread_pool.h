@@ -12,7 +12,14 @@
 namespace randrank {
 
 /// Minimal fixed-size thread pool. Used by parameter sweeps (each sweep point
-/// is an independent simulation) and by the PageRank power iteration.
+/// is an independent simulation), by the PageRank power iteration, and by the
+/// serving layer's snapshot rebuilds.
+///
+/// The pool is reusable across waves: `Wait()` is a synchronization point,
+/// not a shutdown. After `Wait()` returns, further `Submit()` calls are valid
+/// and a later `Wait()` covers them; `ParallelFor` relies on exactly this
+/// Submit/Wait/Submit cycle. Workers only exit in the destructor, which
+/// drains every task still queued.
 class ThreadPool {
  public:
   /// `threads == 0` selects hardware concurrency (at least 1).
@@ -22,10 +29,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; tasks must not throw.
+  /// Enqueues a task; tasks must not throw. Tasks must not call Submit() or
+  /// Wait() on their own pool (a task blocking in Wait() would occupy the
+  /// worker that has to finish the work being waited on).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until the pool is idle: no task queued or running. On an idle
+  /// pool it returns immediately, and it may be called repeatedly. Note the
+  /// contract is pool-is-idle, not my-tasks-are-done — if another thread
+  /// keeps Submit()ing concurrently, Wait() also waits for those tasks, so
+  /// concurrent submitters can starve a waiter. The intended use is
+  /// single-coordinator waves (Submit*, Wait, Submit*, Wait, ...).
   void Wait();
 
   size_t size() const { return workers_.size(); }

@@ -252,6 +252,145 @@ TEST(RankMergeTest, MaterializeWithPositionsConsistent) {
   }
 }
 
+// Satellite property test for the lazy path: over many realizations, the
+// page occupying each probed rank under PageAtRank must match the frequency
+// observed from full MaterializeList realizations — per page, not just
+// pool-vs-det — for both promotion rules and k in {1, 2}.
+class LazyMarginalsTest
+    : public ::testing::TestWithParam<std::tuple<PromotionRule, size_t>> {};
+
+TEST_P(LazyMarginalsTest, PageAtRankMatchesMaterializeFrequencies) {
+  const auto [rule, k] = GetParam();
+  const size_t n = 36;
+  const size_t zeros = 9;
+  Fixture fx(n, zeros, /*seed=*/123 + k);
+  const RankPromotionConfig config =
+      rule == PromotionRule::kUniform ? RankPromotionConfig::Uniform(0.3, k)
+                                      : RankPromotionConfig::Selective(0.3, k);
+  Ranker ranker(config);
+  Rng rng(200 + k);
+  // One Update fixes the pool (the uniform rule re-samples membership per
+  // Update, so marginals are compared over a single fixed pool).
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+
+  const int kTrials = 25000;
+  const std::vector<size_t> probe_ranks = {1, 2, 3, 5, 9, n};
+  // lazy_freq[r][p] / full_freq[r][p]: occupancy counts per probed rank.
+  std::vector<std::vector<int>> lazy_freq(probe_ranks.size(),
+                                          std::vector<int>(n, 0));
+  std::vector<std::vector<int>> full_freq = lazy_freq;
+  for (int t = 0; t < kTrials; ++t) {
+    for (size_t i = 0; i < probe_ranks.size(); ++i) {
+      ++lazy_freq[i][ranker.PageAtRank(probe_ranks[i], rng)];
+    }
+    const std::vector<uint32_t> list = ranker.MaterializeList(rng);
+    for (size_t i = 0; i < probe_ranks.size(); ++i) {
+      ++full_freq[i][list[probe_ranks[i] - 1]];
+    }
+  }
+  for (size_t i = 0; i < probe_ranks.size(); ++i) {
+    for (uint32_t p = 0; p < n; ++p) {
+      EXPECT_NEAR(static_cast<double>(lazy_freq[i][p]) / kTrials,
+                  static_cast<double>(full_freq[i][p]) / kTrials, 0.02)
+          << config.Label() << " rank " << probe_ranks[i] << " page " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, LazyMarginalsTest,
+    ::testing::Combine(::testing::Values(PromotionRule::kUniform,
+                                         PromotionRule::kSelective),
+                       ::testing::Values<size_t>(1, 2)));
+
+TEST(RankMergeTest, TopMFullLengthIsPermutation) {
+  Fixture fx(200, 40);
+  Ranker ranker(RankPromotionConfig::Selective(0.3, 2));
+  Rng rng(51);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  EXPECT_TRUE(IsPermutation(ranker.TopM(200, rng), 200));
+  // Asking for more than n caps at n.
+  EXPECT_TRUE(IsPermutation(ranker.TopM(10000, rng), 200));
+  EXPECT_TRUE(ranker.TopM(0, rng).empty());
+}
+
+TEST(RankMergeTest, TopMPrefixHasNoDuplicates) {
+  Fixture fx(150, 50);
+  Ranker ranker(RankPromotionConfig::Selective(0.8, 1));
+  Rng rng(52);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<uint32_t> top = ranker.TopM(25, rng);
+    ASSERT_EQ(top.size(), 25u);
+    const std::set<uint32_t> seen(top.begin(), top.end());
+    ASSERT_EQ(seen.size(), top.size()) << "pool draw repeated a page";
+  }
+}
+
+TEST(RankMergeTest, TopMMarginalsMatchMaterializePrefix) {
+  // O(m) prefix realization must be distributed exactly as the first m slots
+  // of a full materialization.
+  Fixture fx(50, 10);
+  Ranker ranker(RankPromotionConfig::Selective(0.3, 2));
+  Rng rng(53);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  const size_t m = 8;
+  const int kTrials = 30000;
+  std::vector<double> top_pool_freq(m, 0.0);
+  std::vector<double> full_pool_freq(m, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<uint32_t> top = ranker.TopM(m, rng);
+    const std::vector<uint32_t> list = ranker.MaterializeList(rng);
+    for (size_t j = 0; j < m; ++j) {
+      top_pool_freq[j] += fx.zero[top[j]];
+      full_pool_freq[j] += fx.zero[list[j]];
+    }
+  }
+  for (size_t j = 0; j < m; ++j) {
+    EXPECT_NEAR(top_pool_freq[j] / kTrials, full_pool_freq[j] / kTrials, 0.015)
+        << "rank " << j + 1;
+  }
+}
+
+TEST(RankMergeTest, TopMUnderNoneRuleIsDeterministicPrefix) {
+  Fixture fx(80, 0);
+  Ranker ranker(RankPromotionConfig::None());
+  Rng rng(54);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  const std::vector<uint32_t> top = ranker.TopM(15, rng);
+  ASSERT_EQ(top.size(), 15u);
+  for (size_t j = 0; j < top.size(); ++j) {
+    EXPECT_EQ(top[j], ranker.deterministic_order()[j]);
+  }
+}
+
+TEST(RankMergeTest, PoolPrefixSamplerDrawsWholePoolWithoutReplacement) {
+  std::vector<uint32_t> pool(97);
+  std::iota(pool.begin(), pool.end(), 1000);
+  PoolPrefixSampler sampler(pool.data(), pool.size());
+  Rng rng(55);
+  std::set<uint32_t> seen;
+  while (sampler.remaining() > 0) seen.insert(sampler.Next(rng));
+  EXPECT_EQ(seen.size(), pool.size());
+  EXPECT_EQ(*seen.begin(), 1000u);
+  EXPECT_EQ(*seen.rbegin(), 1096u);
+}
+
+TEST(RankMergeTest, PoolPrefixSamplerFirstDrawIsUniform) {
+  std::vector<uint32_t> pool = {0, 1, 2, 3, 4};
+  PoolPrefixSampler sampler;
+  Rng rng(56);
+  std::vector<int> counts(5, 0);
+  const int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    sampler.Reset(pool.data(), pool.size());
+    ++counts[sampler.Next(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.01);
+  }
+}
+
 class MergePropertyTest
     : public ::testing::TestWithParam<std::tuple<double, size_t, size_t>> {};
 

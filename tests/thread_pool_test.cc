@@ -58,5 +58,40 @@ TEST(ThreadPoolTest, DefaultSizeIsHardwareConcurrency) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPoolTest, SubmitAfterWaitStartsANewWave) {
+  // The documented reuse contract: Wait() is a synchronization point, not a
+  // shutdown. Submit() after Wait() must work and the next Wait() must cover
+  // exactly the new wave.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 1; wave <= 4; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), wave * 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Submit([] {});
+  pool.Wait();
+  pool.Wait();  // second Wait on a drained pool returns immediately
+  pool.Submit([] {});
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForReusesPoolWithMixedCounts) {
+  // Waves below, at, and above the worker count, including empty waves.
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (const size_t count : {0u, 1u, 3u, 4u, 64u, 0u, 7u}) {
+    ParallelFor(pool, count, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 79u);
+}
+
 }  // namespace
 }  // namespace randrank
