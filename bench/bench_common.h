@@ -3,9 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,22 +40,108 @@ inline void RegisterCounterBenchmark(
       ->Iterations(1);
 }
 
-/// Emits one machine-readable JSON object per line (JSONL) so perf benches
-/// can be tracked across commits without parsing the human-oriented tables:
+/// Formats one machine-readable JSON object line (JSONL) so perf benches can
+/// be tracked across commits without parsing the human-oriented tables:
 ///   {"bench":"<name>","qps":12345.6,...}
 /// Keys come from the map (sorted, so output is diff-stable); values are
-/// printed with max_digits10 precision so doubles round-trip exactly.
-inline void EmitJsonLine(std::ostream& os, const std::string& name,
-                         const std::map<std::string, double>& fields) {
+/// printed with max_digits10 precision so doubles round-trip exactly. Note a
+/// NaN/Inf value renders as "nan"/"inf", which is NOT valid JSON — that is
+/// deliberate: ValidateJsonLine rejects it, so a bench that computed garbage
+/// fails loudly instead of feeding the perf trajectory a poisoned point.
+inline std::string FormatJsonLine(const std::string& name,
+                                  const std::map<std::string, double>& fields) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << "{\"bench\":\"" << name << '"';
-  const auto precision =
-      os.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& [key, value] : fields) {
     os << ",\"" << key << "\":" << value;
   }
-  os.precision(precision);
-  os << "}\n";
+  os << '}';
+  return os.str();
 }
+
+/// Structural check of one JSONL record as this file emits them: a flat
+/// object of string keys and finite numeric values, first key "bench" with a
+/// non-empty string value. Catches the crash modes CI must not ignore —
+/// truncated lines from a dying process, NaN/Inf metrics, empty names.
+inline bool ValidateJsonLine(const std::string& line, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why + " in: " + line;
+    return false;
+  };
+  size_t i = 0;
+  const auto parse_string = [&](std::string* out) {
+    if (i >= line.size() || line[i] != '"') return false;
+    const size_t close = line.find('"', ++i);
+    if (close == std::string::npos) return false;
+    if (out) *out = line.substr(i, close - i);
+    i = close + 1;
+    return true;
+  };
+  if (line.empty() || line[i++] != '{') return fail("missing '{'");
+  bool first = true;
+  while (true) {
+    std::string key;
+    if (!parse_string(&key)) return fail("bad key");
+    if (key.empty()) return fail("empty key");
+    if (first && key != "bench") return fail("first key must be \"bench\"");
+    if (i >= line.size() || line[i++] != ':') return fail("missing ':'");
+    if (i < line.size() && line[i] == '"') {
+      std::string value;
+      if (!parse_string(&value)) return fail("bad string value");
+      if (first && value.empty()) return fail("empty bench name");
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str() + i, &end);
+      if (end == line.c_str() + i) return fail("bad number");
+      if (!(value == value) ||
+          value > std::numeric_limits<double>::max() ||
+          value < -std::numeric_limits<double>::max()) {
+        return fail("non-finite value for \"" + key + "\"");
+      }
+      i = static_cast<size_t>(end - line.c_str());
+    }
+    first = false;
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= line.size() || line[i++] != '}') return fail("missing '}'");
+  if (i != line.size()) return fail("trailing characters");
+  return true;
+}
+
+/// Collects every JSONL line a bench emits so main() can refuse to exit 0
+/// when the machine-readable output is empty or malformed (a crashed sweep
+/// must not produce a green CI run with no perf artifact).
+class JsonlSink {
+ public:
+  void Emit(std::ostream& os, const std::string& name,
+            const std::map<std::string, double>& fields) {
+    std::string line = FormatJsonLine(name, fields);
+    os << line << '\n';
+    lines_.push_back(std::move(line));
+  }
+
+  size_t size() const { return lines_.size(); }
+
+  /// True when at least one line was emitted and every line validates.
+  bool Validate(std::string* error) const {
+    if (lines_.empty()) {
+      if (error) *error = "no JSONL lines were emitted";
+      return false;
+    }
+    for (const std::string& line : lines_) {
+      if (!ValidateJsonLine(line, error)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
 
 /// Standard tail for figure benches: run the registered counter benchmarks
 /// and then print the paper-style series table.
@@ -65,6 +153,21 @@ inline int FinishFigure(int argc, char** argv, const Table& table) {
   table.Print(std::cout);
   std::cout << '\n';
   return 0;
+}
+
+/// FinishFigure plus the JSONL gate: exits nonzero when the sink holds no
+/// lines or any malformed line, so CI cannot silently pass on a bench that
+/// crashed mid-sweep or emitted non-finite metrics.
+inline int FinishFigureChecked(int argc, char** argv, const Table& table,
+                               const JsonlSink& sink) {
+  const int rc = FinishFigure(argc, argv, table);
+  std::string error;
+  if (!sink.Validate(&error)) {
+    std::cerr << "FATAL: JSONL output failed validation: " << error << '\n';
+    return 1;
+  }
+  std::cout << "jsonl: " << sink.size() << " lines, all valid\n";
+  return rc;
 }
 
 }  // namespace randrank::bench

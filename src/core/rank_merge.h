@@ -99,6 +99,23 @@ size_t MergePrefix(const RankPromotionConfig& config,
                    const std::vector<uint32_t>& pool, size_t m, Rng& rng,
                    std::vector<uint32_t>* out);
 
+/// Cache-aware core of MergePrefix: splices the randomized tail onto an
+/// *already merged* deterministic order (`det`, best first) using a
+/// caller-owned sampler over the pool. The caller pays for the deterministic
+/// merge once (e.g. per serving epoch, see serve/epoch_prefix_cache.h) and
+/// every query is then the protected-prefix copy plus O(m) tail work.
+///
+/// `sampler` must be Reset() over the pool before each call; it is consumed
+/// by the draws this call makes. While neither side can run dry within the
+/// remaining slots the per-slot Bernoulli(r) coins are pre-drawn in chunks
+/// (one tight loop over the generator), which vectorizes the common case of
+/// a small m against a large corpus; the coin outcomes and pool draws stay
+/// independent uniforms, so the realization distribution is exactly that of
+/// the slot-by-slot cascade in MaterializeList.
+size_t MergePrefixCached(const RankPromotionConfig& config, const uint32_t* det,
+                         size_t det_size, PoolPrefixSampler& sampler, size_t m,
+                         Rng& rng, std::vector<uint32_t>* out);
+
 /// Resolves the page occupying `rank` (1-based) in an independent random
 /// realization of (det, pool) merged under `config`, in O(rank) time.
 /// Shared by Ranker::PageAtRank and the serving snapshots.

@@ -1,0 +1,112 @@
+#include "serve/batch_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace randrank {
+
+BatchQueue::BatchQueue(ShardedRankServer& server, BatchQueueOptions options)
+    : server_(server), opts_(options) {
+  consumer_ = std::thread([this] { ConsumerLoop(); });
+}
+
+BatchQueue::~BatchQueue() { Stop(); }
+
+std::future<std::vector<uint32_t>> BatchQueue::Submit(size_t m) {
+  PendingQuery query;
+  query.m = m;
+  query.has_promise = true;
+  std::future<std::vector<uint32_t>> result = query.promise.get_future();
+  if (!Enqueue(std::move(query))) {
+    // Stopped: resolve immediately with an empty list rather than leaking a
+    // broken promise to the caller.
+    std::promise<std::vector<uint32_t>> rejected;
+    rejected.set_value({});
+    return rejected.get_future();
+  }
+  return result;
+}
+
+bool BatchQueue::Submit(size_t m,
+                        std::function<void(std::vector<uint32_t>)> done) {
+  PendingQuery query;
+  query.m = m;
+  query.callback = std::move(done);
+  return Enqueue(std::move(query));
+}
+
+bool BatchQueue::Enqueue(PendingQuery&& query) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (opts_.max_pending > 0) {
+      drained_.wait(lock, [this] {
+        return stopping_ || pending_.size() < opts_.max_pending;
+      });
+    }
+    if (stopping_) return false;
+    pending_.push_back(std::move(query));
+  }
+  submitted_.notify_one();
+  return true;
+}
+
+void BatchQueue::Stop() {
+  // Claiming the thread handle under the mutex makes concurrent Stop calls
+  // safe: exactly one caller joins, the others see an empty handle.
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    to_join = std::move(consumer_);
+  }
+  submitted_.notify_all();
+  drained_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+void BatchQueue::ConsumerLoop() {
+  ShardedRankServer::Context ctx = server_.CreateContext();
+  const size_t max_batch = std::max<size_t>(1, opts_.max_batch);
+  QueryBatch batch;
+  std::vector<PendingQuery> draining;
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      submitted_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping and fully drained
+      draining.swap(pending_);
+    }
+    drained_.notify_all();
+
+    // Fold runs of same-m queries into one ServeBatch each: every query is
+    // still an independent realization from this context's Rng stream, in
+    // submission order, so batching is invisible in the results.
+    size_t begin = 0;
+    while (begin < draining.size()) {
+      size_t end = begin + 1;
+      while (end < draining.size() && end - begin < max_batch &&
+             draining[end].m == draining[begin].m) {
+        ++end;
+      }
+      const size_t count = end - begin;
+      batch.m = draining[begin].m;
+      batch.Resize(count);
+      server_.ServeBatch(ctx, &batch);
+      for (size_t i = 0; i < count; ++i) {
+        PendingQuery& query = draining[begin + i];
+        if (query.has_promise) {
+          query.promise.set_value(std::move(batch.results[i]));
+        } else if (query.callback) {
+          query.callback(std::move(batch.results[i]));
+        }
+      }
+      queries_served_.fetch_add(count, std::memory_order_relaxed);
+      batches_served_.fetch_add(1, std::memory_order_relaxed);
+      begin = end;
+    }
+    draining.clear();
+  }
+}
+
+}  // namespace randrank

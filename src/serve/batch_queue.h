@@ -1,0 +1,103 @@
+#ifndef RANDRANK_SERVE_BATCH_QUEUE_H_
+#define RANDRANK_SERVE_BATCH_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/sharded_rank_server.h"
+
+namespace randrank {
+
+struct BatchQueueOptions {
+  /// Upper bound on queries folded into one ServeBatch execution (one view
+  /// pin + epoch-cache lookup per batch). 0 selects 1.
+  size_t max_batch = 64;
+  /// Backpressure: Submit blocks while this many queries are already queued.
+  /// 0 means unbounded.
+  size_t max_pending = 1 << 16;
+};
+
+/// Async submission front-end for ShardedRankServer: a multi-producer,
+/// single-consumer queue whose consumer thread drains whatever is pending,
+/// folds runs of same-m queries into QueryBatch executions, and completes
+/// each query's future or callback. Producers never touch serving state —
+/// they enqueue and move on, so one producer can pipeline many in-flight
+/// queries — and the batch size adapts to load: near-empty queues serve
+/// batches of one (no added latency floor), bursts are swallowed at up to
+/// max_batch per view pin.
+///
+/// Producers pay one mutex acquisition per Submit; the consumer takes the
+/// whole pending backlog in one swap, so the lock is never held during
+/// serving. Results come from the consumer's own serving Context (its Rng
+/// stream), drawn in submission order.
+class BatchQueue {
+ public:
+  explicit BatchQueue(ShardedRankServer& server, BatchQueueOptions options = {});
+  /// Stops and drains: queries accepted before the stop are still served.
+  ~BatchQueue();
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Enqueues a top-m query; the future resolves to the served result list.
+  /// Blocks only for backpressure. After Stop() the returned future is
+  /// already resolved with an empty list.
+  std::future<std::vector<uint32_t>> Submit(size_t m);
+
+  /// Callback flavor (no promise/future overhead): `done` runs on the
+  /// consumer thread with the served results. Returns false (and drops the
+  /// query without invoking `done`) after Stop().
+  bool Submit(size_t m, std::function<void(std::vector<uint32_t>)> done);
+
+  /// Rejects new submissions, serves everything already queued, and joins
+  /// the consumer. Idempotent and safe to call from several threads (one
+  /// caller joins; the others return immediately, possibly before the drain
+  /// finishes). Also run by the destructor.
+  void Stop();
+
+  /// Feedback pass-through to the consumer's context is intentionally not
+  /// offered: clicks happen on the caller's timeline, so producers record
+  /// them through their own Context.
+
+  uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_served() const {
+    return batches_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingQuery {
+    size_t m = 0;
+    bool has_promise = false;
+    std::promise<std::vector<uint32_t>> promise;
+    std::function<void(std::vector<uint32_t>)> callback;
+  };
+
+  bool Enqueue(PendingQuery&& query);
+  void ConsumerLoop();
+
+  ShardedRankServer& server_;
+  const BatchQueueOptions opts_;
+
+  std::mutex mutex_;
+  std::condition_variable submitted_;
+  std::condition_variable drained_;
+  std::vector<PendingQuery> pending_;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> batches_served_{0};
+
+  std::thread consumer_;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_SERVE_BATCH_QUEUE_H_

@@ -1,0 +1,54 @@
+#ifndef RANDRANK_SERVE_EPOCH_PREFIX_CACHE_H_
+#define RANDRANK_SERVE_EPOCH_PREFIX_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/rank_snapshot.h"
+
+namespace randrank {
+
+/// Per-epoch materialization of everything in a ServingView that is
+/// invariant across queries: the cross-shard deterministic merge order (and
+/// with it the protected top k-1 prefix) and the concatenated global
+/// promotion pool.
+///
+/// Within one snapshot epoch every query interleaves the *same* global
+/// deterministic order and draws uniformly from the *same* global pool; only
+/// the Bernoulli tail coins and the pool permutation are per-query
+/// randomness. Re-running the S-way merge per query (the PR-1 serving path)
+/// therefore redoes identical work on the hot path. This cache runs that
+/// merge once, off the serving path, when the writer publishes the epoch;
+/// per-query work collapses to MergePrefixCached — a protected-prefix copy
+/// plus an O(m) randomized splice, independent of the shard count.
+///
+/// Lifecycle / invalidation: a cache is built by ShardedRankServer::Update
+/// and owned by the ServingView it describes, so it is immutable after
+/// publish, shared lock-free by all serving threads, and invalidated the
+/// only way a view itself is — by the atomic publish of the next epoch's
+/// view (readers pick up the new cache on their next version check; the old
+/// one is reclaimed with its view once the last reader moves on).
+struct EpochPrefixCache {
+  /// Epoch of the ServingView this cache was built from.
+  uint64_t epoch = 0;
+  /// Global deterministic merge order (all shards interleaved by the global
+  /// sort key RankOrderBefore), best first. Its leading min(k-1, |det|)
+  /// entries are the protected prefix — the serve path (MergePrefixCached)
+  /// derives that bound from the config, the one source of truth for k.
+  std::vector<uint32_t> det;
+  /// Global promotion pool (all shards concatenated, unshuffled; order is
+  /// irrelevant because every draw path shuffles uniformly).
+  std::vector<uint32_t> pool;
+
+  size_t n() const { return det.size() + pool.size(); }
+
+  /// Runs the S-way deterministic merge over `view`'s shard snapshots and
+  /// concatenates their pools. O(n·S) time, O(n) memory; called once per
+  /// publish by the writer, never on the query path.
+  static std::shared_ptr<const EpochPrefixCache> Build(const ServingView& view);
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_SERVE_EPOCH_PREFIX_CACHE_H_

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/visit_law.h"
+#include "serve/batch_queue.h"
 
 namespace randrank {
 namespace {
@@ -42,23 +45,78 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
   uint64_t mix_state = options.seed;
   const uint64_t click_seed = SplitMix64(&mix_state) ^ 0xc11c5eedULL;
 
+  const size_t batch_size = std::max<size_t>(1, options.batch_size);
+  // One queue shared by every worker in async mode (that is the point:
+  // many producers, one batching consumer).
+  std::unique_ptr<BatchQueue> queue;
+  if (options.async) {
+    BatchQueueOptions qopts;
+    qopts.max_batch = batch_size;
+    queue = std::make_unique<BatchQueue>(server, qopts);
+  }
+
+  auto click = [&](ShardedRankServer::Context& ctx, Rng& click_rng,
+                   const std::vector<uint32_t>& results, size_t served) {
+    if (options.record_visits && served > 0) {
+      size_t rank = click_law.SampleRank(click_rng);
+      if (rank > served) rank = served;  // short list: clamp to the tail
+      server.RecordVisit(ctx, results[rank - 1]);
+    }
+  };
+
   auto worker = [&](size_t t) {
     ShardedRankServer::Context ctx = server.CreateContext();
     Rng click_rng = Rng::ForStream(click_seed, t);
     std::vector<double>& lat = latencies_us[t];
     lat.reserve(quota);
-    std::vector<uint32_t> results;
-    results.reserve(top_m);
     while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-    for (size_t q = 0; q < quota; ++q) {
-      const Clock::time_point t0 = Clock::now();
-      const size_t served = server.ServeTopM(ctx, top_m, &results);
-      const Clock::time_point t1 = Clock::now();
-      lat.push_back(SecondsBetween(t0, t1) * 1e6);
-      if (options.record_visits && served > 0) {
-        size_t rank = click_law.SampleRank(click_rng);
-        if (rank > served) rank = served;  // short list: clamp to the tail
-        server.RecordVisit(ctx, results[rank - 1]);
+    if (options.async) {
+      // Windowed pipelining: keep up to batch_size queries in flight, then
+      // collect. Latency is submit-to-completion, queueing included.
+      std::vector<std::future<std::vector<uint32_t>>> window;
+      std::vector<Clock::time_point> submitted;
+      window.reserve(batch_size);
+      submitted.reserve(batch_size);
+      for (size_t q = 0; q < quota;) {
+        const size_t inflight = std::min(batch_size, quota - q);
+        window.clear();
+        submitted.clear();
+        for (size_t i = 0; i < inflight; ++i) {
+          submitted.push_back(Clock::now());
+          window.push_back(queue->Submit(top_m));
+        }
+        for (size_t i = 0; i < inflight; ++i) {
+          const std::vector<uint32_t> results = window[i].get();
+          lat.push_back(SecondsBetween(submitted[i], Clock::now()) * 1e6);
+          click(ctx, click_rng, results, results.size());
+        }
+        q += inflight;
+      }
+    } else if (batch_size > 1) {
+      QueryBatch batch(top_m, 0);
+      for (size_t q = 0; q < quota;) {
+        const size_t count = std::min(batch_size, quota - q);
+        batch.Resize(count);
+        const Clock::time_point t0 = Clock::now();
+        server.ServeBatch(ctx, &batch);
+        const Clock::time_point t1 = Clock::now();
+        const double per_query_us =
+            SecondsBetween(t0, t1) * 1e6 / static_cast<double>(count);
+        for (size_t i = 0; i < count; ++i) {
+          lat.push_back(per_query_us);
+          click(ctx, click_rng, batch.results[i], batch.results[i].size());
+        }
+        q += count;
+      }
+    } else {
+      std::vector<uint32_t> results;
+      results.reserve(top_m);
+      for (size_t q = 0; q < quota; ++q) {
+        const Clock::time_point t0 = Clock::now();
+        const size_t served = server.ServeTopM(ctx, top_m, &results);
+        const Clock::time_point t1 = Clock::now();
+        lat.push_back(SecondsBetween(t0, t1) * 1e6);
+        click(ctx, click_rng, results, served);
       }
     }
     server.FlushFeedback(ctx);
@@ -78,6 +136,12 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
   result.queries = threads * quota;
   result.visits = server.total_visits() - visits_before;
   result.seconds = SecondsBetween(start, stop);
+  if (queue != nullptr) {
+    queue->Stop();
+    result.batches = queue->batches_served();
+  } else {
+    result.batches = threads * ((quota + batch_size - 1) / batch_size);
+  }
   result.qps = result.seconds > 0.0
                    ? static_cast<double>(result.queries) / result.seconds
                    : 0.0;

@@ -15,6 +15,15 @@ struct WorkloadOptions {
   size_t queries_per_thread = 10000;
   /// Results requested per query (the served "page one").
   size_t top_m = 10;
+  /// Queries issued per ServeBatch call (one snapshot pin and epoch-cache
+  /// lookup amortized over the batch). <= 1 uses the per-query ServeTopM
+  /// path. Results are identical either way; only throughput changes.
+  size_t batch_size = 1;
+  /// Route queries through an async BatchQueue instead of serving inline:
+  /// each worker keeps a window of `batch_size` submissions in flight
+  /// (futures) against one shared queue, so latency includes queueing and
+  /// the queue's consumer does all serving. Exercises serve/batch_queue.h.
+  bool async = false;
   /// Rank->visit bias exponent of the click model (paper Eq. 4: 3/2).
   double rank_bias_exponent = 1.5;
   /// When true, every query clicks one result at a rank drawn from the
@@ -36,13 +45,19 @@ struct WorkloadResult {
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// ServeBatch executions observed (== queries in per-query mode; for the
+  /// async mode this is the queue consumer's count).
+  uint64_t batches = 0;
 };
 
 /// Closed-loop load generator: spawns `threads` workers against the server,
-/// each with its own serving Context, issuing top-m queries back-to-back and
-/// clicking results per the rank-biased visit law from visit_law.h. Blocks
-/// until every worker finished its quota, flushes all feedback, and returns
-/// aggregate throughput and latency percentiles.
+/// each with its own serving Context, issuing top-m queries (singly, in
+/// ServeBatch batches, or through an async BatchQueue — see
+/// WorkloadOptions) and clicking results per the rank-biased visit law from
+/// visit_law.h. Blocks until every worker finished its quota, flushes all
+/// feedback, and returns aggregate throughput and latency percentiles. In
+/// batched mode per-query latency is the batch wall time divided by its
+/// size; in async mode it is submit-to-completion, queueing included.
 WorkloadResult RunQueryWorkload(ShardedRankServer& server,
                                 const WorkloadOptions& options);
 

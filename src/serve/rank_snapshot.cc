@@ -46,6 +46,27 @@ std::shared_ptr<const RankSnapshot> RankSnapshot::Build(
   return snap;
 }
 
+size_t BestDetHead(const RankSnapshot* const* snaps, const size_t* cursors,
+                   size_t shards) {
+  size_t best = shards;
+  for (size_t s = 0; s < shards; ++s) {
+    const RankSnapshot& snap = *snaps[s];
+    const size_t c = cursors[s];
+    if (c >= snap.det.size()) continue;
+    if (best == shards) {
+      best = s;
+      continue;
+    }
+    const RankSnapshot& bs = *snaps[best];
+    const size_t bc = cursors[best];
+    if (RankOrderBefore(snap.det_score[c], snap.det_birth[c], snap.det[c],
+                        bs.det_score[bc], bs.det_birth[bc], bs.det[bc])) {
+      best = s;
+    }
+  }
+  return best;
+}
+
 size_t ServingView::n() const {
   size_t total = 0;
   for (const auto& shard : shards) total += shard->n();

@@ -53,12 +53,28 @@ struct RankSnapshot {
       const std::vector<int64_t>& birth_step, Rng& rng);
 };
 
+/// One step of the S-way deterministic merge: the index of the shard whose
+/// det-list head (at its cursor) is next under the global sort key
+/// RankOrderBefore, or `shards` when every list is exhausted. The single
+/// implementation of the merge step — the per-query uncached serve path and
+/// the per-epoch EpochPrefixCache::Build must interleave identically or the
+/// cached order silently diverges from the served one.
+size_t BestDetHead(const RankSnapshot* const* snaps, const size_t* cursors,
+                   size_t shards);
+
+struct EpochPrefixCache;
+
 /// One published generation of the whole server: every shard's snapshot,
 /// swapped in atomically as a unit so a query never observes shards from two
 /// different epochs (cross-shard snapshot isolation).
 struct ServingView {
   uint64_t epoch = 0;
   std::vector<std::shared_ptr<const RankSnapshot>> shards;
+  /// Per-epoch materialization of the cross-shard deterministic merge order
+  /// and global pool (see serve/epoch_prefix_cache.h). Built by the writer
+  /// at publish time; null when the server runs with the cache disabled.
+  /// Immutable after publish and invalidated only by the next epoch's view.
+  std::shared_ptr<const EpochPrefixCache> cache;
 
   size_t n() const;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "serve/epoch_prefix_cache.h"
+
 namespace randrank {
 
 ShardedRankServer::ShardedRankServer(RankPromotionConfig config,
@@ -52,6 +54,10 @@ void ShardedRankServer::Update(const std::vector<double>& popularity,
     for (size_t s = 0; s < shard_pages_.size(); ++s) build_shard(s);
   }
 
+  if (opts_.enable_prefix_cache) {
+    view->cache = EpochPrefixCache::Build(*view);
+  }
+
   store_.Publish(std::move(view));
   epoch_.store(epoch, std::memory_order_release);
 }
@@ -76,12 +82,40 @@ size_t ShardedRankServer::ServeTopM(Context& ctx, size_t m,
   out->clear();
   const ServingView* view = ctx.handle_.Get();
   if (view == nullptr || m == 0) return 0;
+  return ServeOne(ctx, *view, m, out);
+}
 
-  const size_t shards = view->shards.size();
+size_t ShardedRankServer::ServeBatch(Context& ctx, QueryBatch* batch) const {
+  for (auto& result : batch->results) result.clear();
+  const ServingView* view = ctx.handle_.Get();
+  if (view == nullptr || batch->m == 0) return 0;
+  size_t total = 0;
+  for (auto& result : batch->results) {
+    total += ServeOne(ctx, *view, batch->m, &result);
+  }
+  return total;
+}
+
+size_t ShardedRankServer::ServeOne(Context& ctx, const ServingView& view,
+                                   size_t m, std::vector<uint32_t>* out) const {
+  const EpochPrefixCache* cache = view.cache.get();
+  if (cache == nullptr) return ServeUncached(ctx, view, m, out);
+  // Cached path: the cross-shard deterministic merge and the global pool
+  // were materialized once when this epoch was published; a query is the
+  // protected-prefix copy plus the O(m) randomized splice.
+  ctx.pool_sampler_.Reset(cache->pool.data(), cache->pool.size());
+  return MergePrefixCached(config_, cache->det.data(), cache->det.size(),
+                           ctx.pool_sampler_, m, ctx.rng_, out);
+}
+
+size_t ShardedRankServer::ServeUncached(Context& ctx, const ServingView& view,
+                                        size_t m,
+                                        std::vector<uint32_t>* out) const {
+  const size_t shards = view.shards.size();
   size_t det_remaining = 0;
   size_t pool_remaining = 0;
   for (size_t s = 0; s < shards; ++s) {
-    const RankSnapshot* snap = view->shards[s].get();
+    const RankSnapshot* snap = view.shards[s].get();
     ctx.snaps_[s] = snap;
     ctx.det_cursor_[s] = 0;
     ctx.samplers_[s].Reset(snap->pool.data(), snap->pool.size());
@@ -93,25 +127,11 @@ size_t ShardedRankServer::ServeTopM(Context& ctx, size_t m,
   Rng& rng = ctx.rng_;
 
   // Next element of the global deterministic order: the best head among the
-  // shards' sorted lists under the global key (score desc, birth asc, id
-  // asc). Linear scan over S shards; S is small on purpose.
+  // shards' sorted lists under the global key (BestDetHead — shared with
+  // the epoch cache's merge). Linear scan over S; S is small on purpose.
   auto next_det = [&]() -> uint32_t {
-    size_t best = shards;
-    for (size_t s = 0; s < shards; ++s) {
-      const RankSnapshot* snap = ctx.snaps_[s];
-      const size_t c = ctx.det_cursor_[s];
-      if (c >= snap->det.size()) continue;
-      if (best == shards) {
-        best = s;
-        continue;
-      }
-      const RankSnapshot* bs = ctx.snaps_[best];
-      const size_t bc = ctx.det_cursor_[best];
-      if (RankOrderBefore(snap->det_score[c], snap->det_birth[c], snap->det[c],
-                          bs->det_score[bc], bs->det_birth[bc], bs->det[bc])) {
-        best = s;
-      }
-    }
+    const size_t best =
+        BestDetHead(ctx.snaps_.data(), ctx.det_cursor_.data(), shards);
     assert(best < shards);
     --det_remaining;
     return ctx.snaps_[best]->det[ctx.det_cursor_[best]++];

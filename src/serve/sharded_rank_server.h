@@ -25,6 +25,29 @@ struct ServeOptions {
   size_t feedback_batch = 256;
   /// Base seed; each serving context gets its own non-overlapping stream.
   uint64_t seed = 0x5eedULL;
+  /// Build an EpochPrefixCache per published ServingView: the cross-shard
+  /// deterministic merge runs once per epoch instead of once per query, and
+  /// the serve path becomes an O(m) splice independent of the shard count.
+  /// Off reproduces the per-query S-way merge (kept for ablation; both paths
+  /// realize exactly the MaterializeList distribution).
+  bool enable_prefix_cache = true;
+};
+
+/// A batch of same-m queries answered against one pinned ServingView via
+/// ShardedRankServer::ServeBatch. Reuse the object across batches — the
+/// per-query result vectors keep their capacity.
+struct QueryBatch {
+  QueryBatch() = default;
+  QueryBatch(size_t top_m, size_t count) : m(top_m), results(count) {}
+
+  /// Results requested per query.
+  size_t m = 10;
+  /// One entry per query in the batch; each is cleared and refilled with the
+  /// first min(m, n) slots of that query's fresh realization.
+  std::vector<std::vector<uint32_t>> results;
+
+  size_t size() const { return results.size(); }
+  void Resize(size_t count) { results.resize(count); }
 };
 
 /// Multi-threaded query-serving engine for randomized rank promotion: each
@@ -50,10 +73,18 @@ struct ServeOptions {
 ///
 /// Distribution guarantee: ServeTopM over S shards is distributed exactly as
 /// the first m slots of Ranker::MaterializeList over the same global page
-/// state. Deterministic entries are interleaved by an S-way merge on the
-/// global sort key, and pool draws pick a shard weighted by its remaining
-/// pool mass, then draw without replacement inside it — which is precisely a
-/// uniform draw from the remaining global pool.
+/// state. With the per-epoch prefix cache (default) queries splice their
+/// randomized tail onto the cached global deterministic order and draw
+/// uniformly without replacement from the cached global pool; with the cache
+/// disabled, deterministic entries are interleaved by a per-query S-way
+/// merge on the global sort key and pool draws pick a shard weighted by its
+/// remaining pool mass, then draw without replacement inside it — both are
+/// precisely the MaterializeList prefix law.
+///
+/// Amortization layers on the read path: (1) the EpochPrefixCache makes
+/// per-query cost O(m) independent of S, (2) ServeBatch answers B queries
+/// per view pin, and (3) serve/batch_queue.h pipelines many in-flight
+/// queries from arbitrary producer threads into ServeBatch calls.
 class ShardedRankServer {
  public:
   /// A serving thread's private state. Create one per worker via
@@ -71,9 +102,12 @@ class ShardedRankServer {
     Rng rng_{0};
     std::vector<uint32_t> visit_batch_;
     // Per-query merge scratch, reused across queries to avoid allocation.
+    // snaps_/det_cursor_/samplers_ serve the uncached S-way merge;
+    // pool_sampler_ is the cached path's single global-pool sampler.
     std::vector<const RankSnapshot*> snaps_;
     std::vector<size_t> det_cursor_;
     std::vector<PoolPrefixSampler> samplers_;
+    PoolPrefixSampler pool_sampler_;
   };
 
   ShardedRankServer(RankPromotionConfig config, size_t num_pages,
@@ -102,6 +136,15 @@ class ShardedRankServer {
   /// Update(). Lock-free in steady state.
   size_t ServeTopM(Context& ctx, size_t m, std::vector<uint32_t>* out) const;
 
+  /// Answers every query in `batch` against one pinned ServingView (a single
+  /// version check and epoch-cache lookup amortized over the whole batch)
+  /// and returns the total slots served. Each query is an independent fresh
+  /// realization drawn from the context's Rng stream in submission order, so
+  /// a batch of B is bit-identical to B sequential ServeTopM calls on the
+  /// same context — batching changes throughput, never results. Clears every
+  /// result vector; before the first Update() all stay empty.
+  size_t ServeBatch(Context& ctx, QueryBatch* batch) const;
+
   /// Records a served-result click for the feedback loop. Batched per
   /// context; call FlushFeedback when a context retires.
   void RecordVisit(Context& ctx, uint32_t page);
@@ -116,6 +159,15 @@ class ShardedRankServer {
   const RankPromotionConfig& config() const { return config_; }
 
  private:
+  /// One query against an already-pinned view; the shared core of ServeTopM
+  /// and ServeBatch (so the two are bit-identical given the same Rng state).
+  size_t ServeOne(Context& ctx, const ServingView& view, size_t m,
+                  std::vector<uint32_t>* out) const;
+  /// The PR-1 per-query path: S-way deterministic merge + shard-mass-
+  /// weighted pool draws. Used when the epoch prefix cache is disabled.
+  size_t ServeUncached(Context& ctx, const ServingView& view, size_t m,
+                       std::vector<uint32_t>* out) const;
+
   RankPromotionConfig config_;
   size_t n_;
   ServeOptions opts_;

@@ -58,6 +58,36 @@ class Histogram {
 /// `p` in [0, 100]. Returns NaN for an empty vector.
 double Percentile(std::vector<double> values, double p);
 
+/// Standard normal quantile Phi^-1(p), p in (0, 1) (Acklam's rational
+/// approximation, |relative error| < 1.2e-9). Used to derive chi-squared
+/// critical values.
+double NormalQuantile(double p);
+
+/// Upper critical value of the chi-squared distribution with `df` degrees of
+/// freedom at significance `alpha` (Wilson-Hilferty cube approximation; a
+/// few percent accurate at df = 1 and better than 0.2% for df >= 10 — use
+/// generous df and alpha when gating, as the equivalence tests do).
+double ChiSquaredCritical(size_t df, double alpha);
+
+/// Two-sample chi-squared homogeneity statistic over matched count vectors
+/// `a` and `b` (same categories; unequal totals allowed). Cells empty in
+/// both samples are skipped; `df` (if non-null) receives the occupied cell
+/// count, minus one when the sample totals are equal (NR "chstwo").
+/// Compare against ChiSquaredCritical(df, alpha) to test whether the two
+/// samples draw from the same categorical distribution. For ordered
+/// categories with thin tails, MergeSparseCells first — the chi-squared
+/// approximation needs non-trivial expected counts per cell.
+double TwoSampleChiSquared(const std::vector<double>& a,
+                           const std::vector<double>& b, size_t* df = nullptr);
+
+/// Merges adjacent cells of the matched count vectors until every merged
+/// cell holds at least `min_total` combined counts (the final cell absorbs
+/// any underweight remainder). Standard preconditioning for chi-squared
+/// tests over ordered categories whose tails are too sparse for the
+/// asymptotic distribution to hold.
+void MergeSparseCells(std::vector<double>* a, std::vector<double>* b,
+                      double min_total);
+
 /// Weighted mean: sum(w*x)/sum(w). Returns 0 when total weight is 0.
 double WeightedMean(const std::vector<double>& values,
                     const std::vector<double>& weights);

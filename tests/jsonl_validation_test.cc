@@ -1,0 +1,87 @@
+// Pins the bench JSONL self-validation that backs the CI perf gate: a bench
+// whose machine-readable output is empty, truncated, or non-finite must make
+// perf_serve exit nonzero (see bench::FinishFigureChecked), so these checks
+// are what stands between a crashed sweep and a silently green CI run.
+#include "bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace randrank {
+namespace {
+
+using bench::FormatJsonLine;
+using bench::JsonlSink;
+using bench::ValidateJsonLine;
+
+TEST(JsonlValidationTest, AcceptsEmittedLines) {
+  const std::string line = FormatJsonLine(
+      "serve/threads:2", {{"qps", 12345.5}, {"p99_us", 0.25}, {"neg", -1.0}});
+  std::string error;
+  EXPECT_TRUE(ValidateJsonLine(line, &error)) << error;
+}
+
+TEST(JsonlValidationTest, AcceptsScientificNotationAndIntegers) {
+  std::string error;
+  EXPECT_TRUE(ValidateJsonLine("{\"bench\":\"x\",\"a\":1e-9,\"b\":3}", &error))
+      << error;
+}
+
+TEST(JsonlValidationTest, RejectsNonFiniteValues) {
+  std::string error;
+  EXPECT_FALSE(ValidateJsonLine(
+      FormatJsonLine("b", {{"qps", std::nan("")}}), &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+  EXPECT_FALSE(ValidateJsonLine(
+      FormatJsonLine("b", {{"qps", INFINITY}}), &error));
+  EXPECT_FALSE(ValidateJsonLine(
+      FormatJsonLine("b", {{"qps", -INFINITY}}), &error));
+}
+
+TEST(JsonlValidationTest, RejectsStructuralDamage) {
+  std::string error;
+  // The truncation shapes a dying process actually produces.
+  EXPECT_FALSE(ValidateJsonLine("", &error));
+  EXPECT_FALSE(ValidateJsonLine("{\"bench\":\"x\",\"qps\":12", &error));
+  EXPECT_FALSE(ValidateJsonLine("{\"bench\":\"x\",\"qps\":}", &error));
+  EXPECT_FALSE(ValidateJsonLine("{\"bench\":\"x\"", &error));
+  EXPECT_FALSE(ValidateJsonLine("{\"bench\":\"x\"}trailing", &error));
+  EXPECT_FALSE(ValidateJsonLine("not json at all", &error));
+}
+
+TEST(JsonlValidationTest, RejectsMissingOrEmptyBenchName) {
+  std::string error;
+  EXPECT_FALSE(ValidateJsonLine("{\"qps\":1}", &error));
+  EXPECT_FALSE(ValidateJsonLine("{\"bench\":\"\"}", &error));
+}
+
+TEST(JsonlValidationTest, SinkRequiresAtLeastOneLine) {
+  JsonlSink sink;
+  std::string error;
+  EXPECT_FALSE(sink.Validate(&error));
+  EXPECT_NE(error.find("no JSONL"), std::string::npos);
+
+  std::ostringstream sunk;
+  sink.Emit(sunk, "serve/x", {{"qps", 1.0}});
+  EXPECT_TRUE(sink.Validate(&error)) << error;
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sunk.str(), "{\"bench\":\"serve/x\",\"qps\":1}\n");
+}
+
+TEST(JsonlValidationTest, SinkFlagsOnePoisonedLineAmongMany) {
+  JsonlSink sink;
+  std::ostringstream sunk;
+  sink.Emit(sunk, "serve/good", {{"qps", 10.0}});
+  sink.Emit(sunk, "serve/bad", {{"qps", std::nan("")}});
+  sink.Emit(sunk, "serve/also_good", {{"qps", 20.0}});
+  std::string error;
+  EXPECT_FALSE(sink.Validate(&error));
+  EXPECT_NE(error.find("serve/bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace randrank

@@ -1,0 +1,44 @@
+#ifndef RANDRANK_TESTS_SERVE_FIXTURE_H_
+#define RANDRANK_TESTS_SERVE_FIXTURE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace randrank::testutil {
+
+/// Shared serving-test corpus: `zeros` zero-awareness pages interleaved
+/// across page ids (so every shard of a sharded server gets some), the rest
+/// with random positive popularity. Used by serve_test and batch_queue_test;
+/// keep it here so both exercise the same corpus shape.
+struct Fixture {
+  std::vector<double> popularity;
+  std::vector<uint8_t> zero;
+  std::vector<int64_t> birth;
+
+  explicit Fixture(size_t n, size_t zeros, uint64_t seed = 5) {
+    Rng rng(seed);
+    popularity.resize(n);
+    zero.resize(n);
+    birth.resize(n);
+    const size_t stride = zeros ? std::max<size_t>(1, n / zeros) : n + 1;
+    size_t placed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (placed < zeros && i % stride == 0) {
+        popularity[i] = 0.0;
+        zero[i] = 1;
+        ++placed;
+      } else {
+        popularity[i] = rng.NextDouble() * 0.4 + 1e-6;
+        zero[i] = 0;
+      }
+      birth[i] = static_cast<int64_t>(i);
+    }
+  }
+};
+
+}  // namespace randrank::testutil
+
+#endif  // RANDRANK_TESTS_SERVE_FIXTURE_H_

@@ -10,41 +10,20 @@
 
 #include "core/rank_merge.h"
 #include "core/ranking_policy.h"
+#include "serve/epoch_prefix_cache.h"
 #include "serve/feedback.h"
 #include "serve/query_workload.h"
 #include "serve/rank_snapshot.h"
 #include "serve/snapshot_store.h"
 #include "util/rng.h"
 
+#include "serve_fixture.h"
+#include "util/stats.h"
+
 namespace randrank {
 namespace {
 
-struct Fixture {
-  std::vector<double> popularity;
-  std::vector<uint8_t> zero;
-  std::vector<int64_t> birth;
-
-  explicit Fixture(size_t n, size_t zeros, uint64_t seed = 5) {
-    Rng rng(seed);
-    popularity.resize(n);
-    zero.resize(n);
-    birth.resize(n);
-    // Interleave zero-awareness pages across ids so every shard gets some.
-    const size_t stride = zeros ? std::max<size_t>(1, n / zeros) : n + 1;
-    size_t placed = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (placed < zeros && i % stride == 0) {
-        popularity[i] = 0.0;
-        zero[i] = 1;
-        ++placed;
-      } else {
-        popularity[i] = rng.NextDouble() * 0.4 + 1e-6;
-        zero[i] = 0;
-      }
-      birth[i] = static_cast<int64_t>(i);
-    }
-  }
-};
+using testutil::Fixture;
 
 TEST(SnapshotStoreTest, PublishAndHandleRefresh) {
   SnapshotStore<int> store;
@@ -230,6 +209,197 @@ TEST(ServeTest, ServedTopMMatchesMaterializeListMarginals) {
           << "shards=" << shards << " rank=" << j + 1;
     }
   }
+}
+
+// The batched path's contract: a batch of B is bit-identical to B
+// sequential queries on the same context, because both consume the same Rng
+// stream through the same per-query serve core — batching amortizes setup,
+// never changes results.
+TEST(ServeTest, ServeBatchIsPairwiseIdenticalToSequentialQueries) {
+  const size_t n = 500;
+  const size_t m = 15;
+  const size_t kBatch = 32;
+  Fixture fx(n, 100);
+  for (const bool cache : {true, false}) {
+    ServeOptions opts;
+    opts.shards = 4;
+    opts.seed = 77;
+    opts.enable_prefix_cache = cache;
+
+    // Two identical servers; contexts created identically get identical
+    // per-query Rng streams.
+    ShardedRankServer sequential(RankPromotionConfig::Selective(0.4, 3), n,
+                                 opts);
+    ShardedRankServer batched(RankPromotionConfig::Selective(0.4, 3), n, opts);
+    sequential.Update(fx.popularity, fx.zero, fx.birth);
+    batched.Update(fx.popularity, fx.zero, fx.birth);
+    auto seq_ctx = sequential.CreateContext();
+    auto batch_ctx = batched.CreateContext();
+
+    std::vector<std::vector<uint32_t>> expected(kBatch);
+    size_t expected_total = 0;
+    for (size_t q = 0; q < kBatch; ++q) {
+      expected_total += sequential.ServeTopM(seq_ctx, m, &expected[q]);
+    }
+
+    QueryBatch batch(m, kBatch);
+    ASSERT_EQ(batched.ServeBatch(batch_ctx, &batch), expected_total)
+        << "cache=" << cache;
+    for (size_t q = 0; q < kBatch; ++q) {
+      EXPECT_EQ(batch.results[q], expected[q])
+          << "cache=" << cache << " query " << q;
+    }
+  }
+}
+
+TEST(ServeTest, ServeBatchBeforeFirstUpdateServesNothing) {
+  ShardedRankServer server(RankPromotionConfig::Recommended(1), 100);
+  auto ctx = server.CreateContext();
+  QueryBatch batch(10, 4);
+  batch.results[0].push_back(42);  // stale content must be cleared
+  EXPECT_EQ(server.ServeBatch(ctx, &batch), 0u);
+  for (const auto& result : batch.results) EXPECT_TRUE(result.empty());
+}
+
+// The epoch cache's deterministic half admits an exact test: its merged
+// global order must equal the per-query S-way merge output (observable as
+// the full served list under r=0), not merely match in distribution.
+TEST(ServeTest, EpochPrefixCacheDetOrderMatchesUncachedMergeExactly) {
+  const size_t n = 311;
+  Fixture fx(n, 60);
+  std::vector<std::vector<uint32_t>> lists;
+  for (const bool cache : {true, false}) {
+    ServeOptions opts;
+    opts.shards = 5;
+    opts.enable_prefix_cache = cache;
+    ShardedRankServer server(RankPromotionConfig::None(), n, opts);
+    server.Update(fx.popularity, fx.zero, fx.birth);
+    auto ctx = server.CreateContext();
+    std::vector<uint32_t> out;
+    EXPECT_EQ(server.ServeTopM(ctx, n, &out), n);
+    lists.push_back(out);
+  }
+  EXPECT_EQ(lists[0], lists[1]);
+}
+
+// Satellite acceptance test: the cached randomized tail must draw from the
+// same law as the uncached tail. Statistic: pool pages among the served
+// top-m (sparse-merged cells, two-sample chi-squared at alpha = 1e-3), plus
+// a per-rank marginal cross-check against the uncached path.
+TEST(ServeTest, CachedTailMatchesUncachedTailChiSquared) {
+  const size_t n = 600;
+  const size_t m = 12;
+  const int kTrials = 20000;
+  Fixture fx(n, 120);
+  const RankPromotionConfig config = RankPromotionConfig::Selective(0.35, 2);
+
+  std::vector<std::vector<double>> pool_counts(2);
+  std::vector<std::vector<double>> rank_freq(2);
+  for (const bool cache : {true, false}) {
+    ServeOptions opts;
+    opts.shards = 4;
+    opts.seed = cache ? 900 : 901;
+    opts.enable_prefix_cache = cache;
+    ShardedRankServer server(config, n, opts);
+    server.Update(fx.popularity, fx.zero, fx.birth);
+    auto ctx = server.CreateContext();
+    std::vector<uint32_t> out;
+    auto& counts = pool_counts[cache ? 0 : 1];
+    auto& freq = rank_freq[cache ? 0 : 1];
+    counts.assign(m + 1, 0.0);
+    freq.assign(m, 0.0);
+    for (int t = 0; t < kTrials; ++t) {
+      ASSERT_EQ(server.ServeTopM(ctx, m, &out), m);
+      size_t hits = 0;
+      for (size_t j = 0; j < m; ++j) {
+        hits += fx.zero[out[j]];
+        freq[j] += fx.zero[out[j]];
+      }
+      counts[hits] += 1.0;
+    }
+  }
+
+  MergeSparseCells(&pool_counts[0], &pool_counts[1], 32.0);
+  size_t df = 0;
+  const double chi2 = TwoSampleChiSquared(pool_counts[0], pool_counts[1], &df);
+  ASSERT_GT(df, 0u);
+  EXPECT_LE(chi2, ChiSquaredCritical(df, 0.001))
+      << "cached tail distribution drifted from uncached (df=" << df << ")";
+
+  for (size_t j = 0; j < m; ++j) {
+    EXPECT_NEAR(rank_freq[0][j] / kTrials, rank_freq[1][j] / kTrials, 0.02)
+        << "rank " << j + 1;
+  }
+}
+
+TEST(ServeTest, EpochPrefixCacheBuildPartitionsTheView) {
+  const size_t n = 97;
+  Fixture fx(n, 20);
+  ServeOptions opts;
+  opts.shards = 3;
+  ShardedRankServer server(RankPromotionConfig::Selective(0.5, 2), n, opts);
+  server.Update(fx.popularity, fx.zero, fx.birth);
+  auto ctx = server.CreateContext();
+  // Reach the published cache through a full-list query's invariants: the
+  // cache partitions all pages (det + pool) and preserves the global order
+  // law, so a full realization is a permutation.
+  std::vector<uint32_t> out;
+  EXPECT_EQ(server.ServeTopM(ctx, n, &out), n);
+  std::set<uint32_t> seen(out.begin(), out.end());
+  EXPECT_EQ(seen.size(), n);
+  // And the deterministic prefix (k-1 = 1 protected slot) is stable.
+  std::vector<uint32_t> again;
+  server.ServeTopM(ctx, 1, &again);
+  EXPECT_EQ(again[0], out[0]);
+}
+
+TEST(ServeTest, BatchedWorkloadFeedsVisitsBackLikeSequential) {
+  const size_t n = 400;
+  Fixture fx(n, 80);
+  ServeOptions opts;
+  opts.shards = 4;
+  ShardedRankServer server(RankPromotionConfig::Recommended(2), n, opts);
+  server.Update(fx.popularity, fx.zero, fx.birth);
+
+  WorkloadOptions wl;
+  wl.threads = 2;
+  wl.queries_per_thread = 1500;
+  wl.top_m = 10;
+  wl.batch_size = 16;
+  wl.seed = 4;
+  const WorkloadResult result = RunQueryWorkload(server, wl);
+  EXPECT_EQ(result.queries, 3000u);
+  EXPECT_EQ(result.visits, 3000u);
+  // ceil(1500 / 16) = 94 batches per worker.
+  EXPECT_EQ(result.batches, 2u * 94u);
+  EXPECT_GT(result.qps, 0.0);
+
+  const std::vector<uint64_t> counts = server.DrainVisits();
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST(ServeTest, AsyncWorkloadServesFullQuotaThroughQueue) {
+  const size_t n = 300;
+  Fixture fx(n, 60);
+  ServeOptions opts;
+  opts.shards = 4;
+  ShardedRankServer server(RankPromotionConfig::Recommended(2), n, opts);
+  server.Update(fx.popularity, fx.zero, fx.birth);
+
+  WorkloadOptions wl;
+  wl.threads = 2;
+  wl.queries_per_thread = 800;
+  wl.top_m = 8;
+  wl.batch_size = 16;
+  wl.async = true;
+  wl.seed = 11;
+  const WorkloadResult result = RunQueryWorkload(server, wl);
+  EXPECT_EQ(result.queries, 1600u);
+  EXPECT_EQ(result.visits, 1600u);
+  EXPECT_GT(result.batches, 0u);
+  EXPECT_LE(result.batches, 1600u);
 }
 
 TEST(ServeTest, PoolDrawsAreUniformAcrossShards) {

@@ -124,6 +124,88 @@ TEST(PercentileTest, EmptyReturnsNan) {
   EXPECT_TRUE(std::isnan(Percentile({}, 50.0)));
 }
 
+TEST(NormalQuantileTest, MatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.999), 3.090232306, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.001), -3.090232306, 1e-6);
+  // Deep-tail region exercises the rational tail branch.
+  EXPECT_NEAR(NormalQuantile(1e-6), -4.753424309, 1e-5);
+}
+
+TEST(ChiSquaredCriticalTest, MatchesTables) {
+  // Wilson-Hilferty is a few percent off at df=1, sub-0.2% by df>=10.
+  EXPECT_NEAR(ChiSquaredCritical(1, 0.05), 3.841, 0.15);
+  EXPECT_NEAR(ChiSquaredCritical(10, 0.05), 18.307, 0.05);
+  EXPECT_NEAR(ChiSquaredCritical(20, 0.01), 37.566, 0.08);
+  EXPECT_NEAR(ChiSquaredCritical(10, 0.001), 29.588, 0.25);
+}
+
+TEST(TwoSampleChiSquaredTest, IdenticalCountsGiveZero) {
+  const std::vector<double> a{10.0, 20.0, 30.0};
+  size_t df = 99;
+  EXPECT_DOUBLE_EQ(TwoSampleChiSquared(a, a, &df), 0.0);
+  EXPECT_EQ(df, 2u);
+}
+
+TEST(TwoSampleChiSquaredTest, ProportionalCountsGiveZero) {
+  // Unequal sample sizes with identical proportions must not register as
+  // different distributions; unequal totals keep the full df (NR "chstwo" —
+  // no equal-totals constraint).
+  const std::vector<double> a{10.0, 20.0, 30.0};
+  const std::vector<double> b{30.0, 60.0, 90.0};
+  size_t df = 0;
+  EXPECT_NEAR(TwoSampleChiSquared(a, b, &df), 0.0, 1e-12);
+  EXPECT_EQ(df, 3u);
+}
+
+TEST(TwoSampleChiSquaredTest, SkipsJointlyEmptyCells) {
+  const std::vector<double> a{10.0, 0.0, 30.0};
+  const std::vector<double> b{12.0, 0.0, 28.0};
+  size_t df = 0;
+  TwoSampleChiSquared(a, b, &df);
+  EXPECT_EQ(df, 1u);
+}
+
+TEST(TwoSampleChiSquaredTest, DetectsGrossDifference) {
+  const std::vector<double> a{100.0, 0.0};
+  const std::vector<double> b{0.0, 100.0};
+  size_t df = 0;
+  const double stat = TwoSampleChiSquared(a, b, &df);
+  EXPECT_GT(stat, ChiSquaredCritical(df, 0.001));
+}
+
+TEST(TwoSampleChiSquaredTest, EmptySamplesAreDegenerate) {
+  const std::vector<double> zeros{0.0, 0.0};
+  size_t df = 99;
+  EXPECT_DOUBLE_EQ(TwoSampleChiSquared(zeros, zeros, &df), 0.0);
+  EXPECT_EQ(df, 0u);
+}
+
+TEST(MergeSparseCellsTest, PoolsAdjacentCellsToMinimumMass) {
+  std::vector<double> a{1.0, 2.0, 50.0, 1.0, 1.0, 1.0};
+  std::vector<double> b{1.0, 2.0, 50.0, 1.0, 1.0, 1.0};
+  MergeSparseCells(&a, &b, 10.0);
+  // Cells: [1+2+50 merged across both samples reaches 10 at index 2], then
+  // the sparse tail folds into the last emitted cell.
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i] + b[i], 10.0) << "cell " << i;
+  }
+  double total_a = 0.0;
+  for (const double x : a) total_a += x;
+  EXPECT_DOUBLE_EQ(total_a, 56.0);  // mass conserved
+}
+
+TEST(MergeSparseCellsTest, AllSparseCollapsesToOneCell) {
+  std::vector<double> a{1.0, 1.0};
+  std::vector<double> b{1.0, 1.0};
+  MergeSparseCells(&a, &b, 100.0);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+}
+
 TEST(WeightedMeanTest, Basic) {
   EXPECT_DOUBLE_EQ(WeightedMean({1.0, 3.0}, {1.0, 3.0}), 2.5);
 }

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""CI regression gate for the perf_serve smoke benchmark.
+
+Compares a perf_serve --smoke JSONL run against the checked-in baseline
+(bench/baseline_smoke.json) and exits nonzero on:
+
+  * unparseable or empty JSONL (a crashed bench must not pass),
+  * any baseline bench missing from the run (a silently shrunk sweep),
+  * QPS regression beyond the tolerance on any baseline bench,
+  * statistical drift between the cached and uncached serve paths
+    (the serve/equivalence record: chi2 must stay under its critical
+    value and the deterministic-order check must be exact).
+
+Absolute QPS varies across runner hardware, so baseline values are
+recorded deliberately low (see --headroom at --update time) and the gate
+only fires on large relative drops. Refresh the baseline with:
+
+    perf_serve --smoke | grep '^{' > smoke.jsonl
+    tools/check_bench.py smoke.jsonl --update
+
+Usage:
+    check_bench.py SMOKE_JSONL [--baseline PATH] [--tolerance F]
+                   [--update] [--headroom F] [--summary PATH]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_jsonl(path):
+    """Parses the JSONL lines of a perf run into {bench_name: fields}."""
+    records = {}
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line.startswith("{"):
+                continue  # human-oriented table output mixed into the capture
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: malformed JSON ({exc})")
+                continue
+            name = record.get("bench")
+            if not name:
+                errors.append(f'line {lineno}: missing "bench" key')
+                continue
+            records[name] = record
+    return records, errors
+
+
+def check(records, baseline, tolerance):
+    """Returns (failures, rows) where rows feed the markdown summary."""
+    failures = []
+    rows = []
+    tol = tolerance if tolerance is not None else baseline.get("tolerance", 0.30)
+
+    for name, base in sorted(baseline.get("qps", {}).items()):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: present in baseline but missing from run")
+            rows.append((name, None, base, None, "MISSING"))
+            continue
+        qps = record.get("qps")
+        if qps is None:
+            failures.append(f"{name}: run record has no qps field")
+            rows.append((name, None, base, None, "NO QPS"))
+            continue
+        floor = (1.0 - tol) * base
+        ratio = qps / base if base > 0 else float("inf")
+        ok = qps >= floor
+        rows.append((name, qps, base, ratio, "ok" if ok else "REGRESSION"))
+        if not ok:
+            failures.append(
+                f"{name}: qps {qps:.0f} fell below {floor:.0f} "
+                f"(baseline {base:.0f}, tolerance {tol:.0%})"
+            )
+
+    # Hardware-independent gate: the within-run speedup of the batched+cached
+    # path over the per-query uncached path (the PR acceptance criterion is
+    # >= 2x). Absolute QPS floors above depend on runner hardware; this ratio
+    # does not, so it catches a cache/batching regression even on a runner
+    # much faster or slower than the baseline recording machine.
+    cached = records.get("serve/cache:on/batch:16")
+    min_speedup = baseline.get("min_speedup_vs_percall", 2.0)
+    if cached is None:
+        failures.append("serve/cache:on/batch:16 record missing from run")
+        rows.append(("serve/cache:on/batch:16 speedup", None, min_speedup, None,
+                     "MISSING"))
+    else:
+        speedup = cached.get("speedup_vs_percall", 0.0)
+        ok = speedup >= min_speedup
+        rows.append(("serve/cache:on/batch:16 speedup", speedup, min_speedup,
+                     None, "ok" if ok else "REGRESSION"))
+        if not ok:
+            failures.append(
+                f"batched+cached speedup {speedup:.2f}x fell below "
+                f"{min_speedup:.1f}x over the per-query uncached path"
+            )
+
+    equiv = records.get("serve/equivalence")
+    if equiv is None:
+        failures.append("serve/equivalence record missing from run")
+        rows.append(("serve/equivalence", None, None, None, "MISSING"))
+    else:
+        chi2 = equiv.get("chi2")
+        critical = equiv.get("chi2_critical")
+        det_exact = equiv.get("det_exact")
+        drifted = chi2 is None or critical is None or chi2 > critical
+        inexact = det_exact != 1
+        if drifted:
+            failures.append(
+                f"serve/equivalence: chi2 {chi2} exceeds critical {critical} "
+                "(cached tail distribution drifted from uncached)"
+            )
+        if inexact:
+            failures.append(
+                "serve/equivalence: cached deterministic order no longer "
+                "matches the uncached S-way merge exactly"
+            )
+        status = "ok" if not (drifted or inexact) else "DRIFT"
+        rows.append(("serve/equivalence", chi2, critical, None, status))
+    return failures, rows
+
+
+def write_summary(path, rows, failures):
+    lines = ["### perf_serve smoke vs baseline", ""]
+    lines.append("| bench | run | baseline | ratio | status |")
+    lines.append("|---|---|---|---|---|")
+    for name, run, base, ratio, status in rows:
+        fmt = lambda v: f"{v:,.0f}" if isinstance(v, (int, float)) else "—"
+        ratio_s = f"{ratio:.2f}x" if isinstance(ratio, float) else "—"
+        mark = "✅" if status == "ok" else "❌"
+        lines.append(
+            f"| {name} | {fmt(run)} | {fmt(base)} | {ratio_s} | {mark} {status} |"
+        )
+    lines.append("")
+    lines.append(
+        "**GATE FAILED**" if failures else "**gate passed** "
+        "(QPS within tolerance, cached/uncached distributions equivalent)"
+    )
+    text = "\n".join(lines) + "\n"
+    if path:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(text)
+    print(text)
+
+
+def update_baseline(records, path, tolerance, headroom):
+    qps = {
+        name: round(record["qps"] * (1.0 - headroom), 1)
+        for name, record in sorted(records.items())
+        if "qps" in record and record.get("qps", 0) > 0
+    }
+    baseline = {
+        "comment": (
+            "perf_serve --smoke QPS floors for tools/check_bench.py. Values "
+            f"are a recorded run scaled down by {headroom:.0%} headroom; the "
+            "gate fires when a run drops more than `tolerance` below them. "
+            "Absolute QPS depends on runner hardware — record the baseline "
+            "on (or conservatively below) the hardware the gate runs on, "
+            "from the min of several runs: tools/check_bench.py r1.jsonl "
+            "r2.jsonl r3.jsonl --update. The min_speedup_vs_percall and "
+            "distribution-drift checks are hardware-independent."
+        ),
+        "tolerance": tolerance if tolerance is not None else 0.30,
+        "min_speedup_vs_percall": 2.0,
+        "qps": qps,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"baseline written to {path}: {len(qps)} benches")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "jsonl",
+        nargs="+",
+        help="JSONL capture(s) of perf_serve --smoke runs; the gate checks "
+        "exactly one, --update accepts several and keeps elementwise "
+        "minimum QPS (absorbing run-to-run noise)",
+    )
+    parser.add_argument("--baseline", default="bench/baseline_smoke.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional QPS drop (default: value stored in baseline)",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=0.40,
+        help="fraction shaved off measured QPS when writing a baseline, "
+        "absorbing runner-hardware variance (default 0.40)",
+    )
+    parser.add_argument(
+        "--summary", default=None, help="markdown file to append the report to"
+    )
+    args = parser.parse_args()
+
+    if not args.update and len(args.jsonl) != 1:
+        print("ERROR: the gate checks exactly one run", file=sys.stderr)
+        return 2
+
+    merged = {}
+    for path in args.jsonl:
+        records, errors = load_jsonl(path)
+        for error in errors:
+            print(f"ERROR: {path}: {error}", file=sys.stderr)
+        if not records:
+            print(f"ERROR: {path}: no JSONL records found", file=sys.stderr)
+            return 1
+        if errors:
+            return 1
+        for name, record in records.items():
+            kept = merged.get(name)
+            if kept is None or record.get("qps", 0) < kept.get("qps", 0):
+                merged[name] = record
+    records = merged
+
+    if args.update:
+        update_baseline(records, args.baseline, args.tolerance, args.headroom)
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"ERROR: cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 1
+
+    failures, rows = check(records, baseline, args.tolerance)
+    write_summary(args.summary, rows, failures)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
