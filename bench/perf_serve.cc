@@ -17,14 +17,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/policy/policy_factory.h"
+#include "core/policy/promotion_policy.h"
+#include "core/policy/stochastic_ranking_policy.h"
 #include "core/rank_merge.h"
 #include "core/ranking_policy.h"
 #include "serve/epoch_prefix_cache.h"
@@ -69,6 +74,9 @@ struct PointConfig {
   size_t batch = 1;
   bool cache = true;
   bool async = false;
+  /// When set, serve this policy instead of the r-derived promotion config
+  /// (the policy-family sweep).
+  std::shared_ptr<const StochasticRankingPolicy> policy;
 };
 
 WorkloadResult MeasurePoint(const Corpus& corpus, const PointConfig& p) {
@@ -76,10 +84,13 @@ WorkloadResult MeasurePoint(const Corpus& corpus, const PointConfig& p) {
   opts.shards = p.shards;
   opts.seed = 0xbe9cULL + p.shards * 131 + p.threads;
   opts.enable_prefix_cache = p.cache;
-  const RankPromotionConfig config =
-      p.r == 0.0 ? RankPromotionConfig::None()
-                 : RankPromotionConfig::Selective(p.r, 2);
-  ShardedRankServer server(config, corpus.popularity.size(), opts);
+  const std::shared_ptr<const StochasticRankingPolicy> policy =
+      p.policy != nullptr
+          ? p.policy
+          : MakePromotionPolicy(p.r == 0.0
+                                    ? RankPromotionConfig::None()
+                                    : RankPromotionConfig::Selective(p.r, 2));
+  ShardedRankServer server(policy, corpus.popularity.size(), opts);
   server.Update(corpus.popularity, corpus.zero, corpus.birth);
 
   WorkloadOptions wl;
@@ -301,6 +312,25 @@ int main(int argc, char** argv) {
     emit("serve/async:16", p, res,
          {{"batches", static_cast<double>(res.batches)}}, "async",
          "MPSC queue");
+  }
+
+  // Policy-family sweep: one point per shipped ranking family, keyed by the
+  // policy's label (MakePolicyFromLabel inverts it, so tools can map a
+  // bench name back to the exact policy). Families without the O(m) lazy
+  // prefix pay O(n) per query by design; they run a reduced quota so the
+  // sweep stays bounded, and their QPS rows are honest about the cost.
+  for (const auto& policy : StandardPolicyFamilies()) {
+    PointConfig p;
+    p.top_m = 20;
+    p.policy = policy;
+    p.cache = policy->Capabilities().epoch_prefix_cache;
+    p.queries_per_thread = policy->Capabilities().lazy_prefix
+                               ? kQueriesPerThread
+                               : std::max<size_t>(200, kQueriesPerThread / 20);
+    const WorkloadResult res = MeasurePoint(corpus, p);
+    emit("serve/policy:" + policy->Label(), p, res,
+         {{"lazy_prefix", policy->Capabilities().lazy_prefix ? 1.0 : 0.0}},
+         "policy", policy->Label());
   }
 
   // Cached-vs-uncached distribution equivalence, shipped with every perf

@@ -1,0 +1,109 @@
+#include "core/policy/epsilon_tail_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace randrank {
+
+std::string EpsilonTailPolicy::Label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "eps-tail(eps=%.2f,k=%zu)", epsilon_,
+                protect_);
+  return buf;
+}
+
+size_t EpsilonTailPolicy::ServePrefix(const ShardView* views, size_t num_views,
+                                      PolicyScratch& scratch, size_t m,
+                                      Rng& rng,
+                                      std::vector<uint32_t>* out) const {
+  scratch.cursors.resize(num_views);
+  size_t total = 0;
+  for (size_t v = 0; v < num_views; ++v) {
+    scratch.cursors[v] = 0;
+    total += views[v].det_size;
+  }
+  const size_t count = std::min(m, total);
+  scratch.emitted.clear();
+
+  // Uniform exploration draws are rejection-sampled against the pages the
+  // uniform branch already served; the exploitation branch advances the
+  // per-view cursors past those pages and drops them from the set, so the
+  // set (and with it the rejection rate) stays small while m << n.
+  auto skip_emitted = [&](size_t v) {
+    const ShardView& view = views[v];
+    size_t& c = scratch.cursors[v];
+    while (c < view.det_size && scratch.emitted.erase(view.det[c]) > 0) ++c;
+  };
+
+  size_t det_remaining = total;  // pages not yet served, any branch
+  auto next_best = [&]() -> uint32_t {
+    for (size_t v = 0; v < num_views; ++v) skip_emitted(v);
+    const size_t best = BestViewHead(views, scratch.cursors.data(), num_views);
+    assert(best < num_views);
+    --det_remaining;
+    return views[best].det[scratch.cursors[best]++];
+  };
+  auto next_uniform = [&]() -> uint32_t {
+    // The candidate span is every view's [cursor, det_size); the emitted
+    // set is a subset of the span, so rejecting emitted pages draws
+    // uniformly over the remaining ones.
+    for (;;) {
+      size_t span = 0;
+      for (size_t v = 0; v < num_views; ++v) {
+        span += views[v].det_size - scratch.cursors[v];
+      }
+      uint64_t t = rng.NextIndex(span);
+      size_t v = 0;
+      while (t >= views[v].det_size - scratch.cursors[v]) {
+        t -= views[v].det_size - scratch.cursors[v];
+        ++v;
+      }
+      const uint32_t page =
+          views[v].det[scratch.cursors[v] + static_cast<size_t>(t)];
+      if (scratch.emitted.insert(page).second) {
+        --det_remaining;
+        return page;
+      }
+    }
+  };
+
+  size_t appended = 0;
+  const size_t protected_prefix = std::min(protect_, count);
+  while (appended < protected_prefix) {
+    out->push_back(next_best());
+    ++appended;
+  }
+  while (appended < count) {
+    const bool explore = det_remaining > 0 && rng.NextBernoulli(epsilon_);
+    out->push_back(explore ? next_uniform() : next_best());
+    ++appended;
+  }
+  return count;
+}
+
+std::vector<uint32_t> EpsilonTailPolicy::MaterializeReference(
+    const ShardView& global, Rng& rng) const {
+  // Naive slot-by-slot realization over an explicit remaining list; the
+  // independent reference the distribution-equivalence tests compare
+  // ServePrefix against.
+  std::vector<uint32_t> remaining(global.det, global.det + global.det_size);
+  std::vector<uint32_t> out;
+  out.reserve(remaining.size());
+  while (!remaining.empty()) {
+    size_t pick = 0;
+    if (out.size() >= protect_ && rng.NextBernoulli(epsilon_)) {
+      pick = rng.NextIndex(remaining.size());
+    }
+    out.push_back(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+std::shared_ptr<const StochasticRankingPolicy> MakeEpsilonTailPolicy(
+    double epsilon, size_t protect) {
+  return std::make_shared<EpsilonTailPolicy>(epsilon, protect);
+}
+
+}  // namespace randrank

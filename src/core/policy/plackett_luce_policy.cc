@@ -1,0 +1,112 @@
+#include "core/policy/plackett_luce_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace randrank {
+
+namespace {
+
+/// Standard Gumbel draw; u is guarded away from 0 so the key stays finite.
+double NextGumbel(Rng& rng) {
+  double u;
+  do {
+    u = rng.NextDouble();
+  } while (u <= 0.0);
+  return -std::log(-std::log1p(u - 1.0));
+}
+
+}  // namespace
+
+std::string PlackettLucePolicy::Label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "plackett-luce(T=%.2f)", temperature_);
+  return buf;
+}
+
+size_t PlackettLucePolicy::ServePrefix(const ShardView* views,
+                                       size_t num_views, PolicyScratch& scratch,
+                                       size_t m, Rng& rng,
+                                       std::vector<uint32_t>* out) const {
+  size_t total = 0;
+  for (size_t v = 0; v < num_views; ++v) {
+    assert(views[v].det_score != nullptr);
+    total += views[v].det_size;
+  }
+  const size_t count = std::min(m, total);
+  if (count == 0) return 0;
+
+  // Gumbel-max: one perturbed key per page, top-`count` keys descending.
+  // Key order is independent of generation order, so shard views need no
+  // interleaving — stream them in sequence.
+  scratch.keyed.clear();
+  scratch.keyed.reserve(total);
+  for (size_t v = 0; v < num_views; ++v) {
+    const ShardView& view = views[v];
+    for (size_t j = 0; j < view.det_size; ++j) {
+      scratch.keyed.emplace_back(
+          view.det_score[j] / temperature_ + NextGumbel(rng), view.det[j]);
+    }
+  }
+  // Ties have probability zero in exact arithmetic; break them by page id so
+  // floating-point collisions stay deterministic.
+  const auto better = [](const std::pair<double, uint32_t>& a,
+                         const std::pair<double, uint32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  if (count < total) {
+    std::nth_element(scratch.keyed.begin(),
+                     scratch.keyed.begin() + static_cast<ptrdiff_t>(count - 1),
+                     scratch.keyed.end(), better);
+  }
+  std::sort(scratch.keyed.begin(),
+            scratch.keyed.begin() + static_cast<ptrdiff_t>(count), better);
+  for (size_t j = 0; j < count; ++j) out->push_back(scratch.keyed[j].second);
+  return count;
+}
+
+std::vector<uint32_t> PlackettLucePolicy::MaterializeReference(
+    const ShardView& global, Rng& rng) const {
+  // Naive sequential softmax sampling without replacement — the textbook
+  // Plackett-Luce definition, independent of the Gumbel-max fast path.
+  assert(global.det_score != nullptr);
+  const size_t n = global.det_size;
+  double max_score = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    max_score = std::max(max_score, global.det_score[j]);
+  }
+  std::vector<double> weight(n);
+  double mass = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    weight[j] = std::exp((global.det_score[j] - max_score) / temperature_);
+    mass += weight[j];
+  }
+
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  for (size_t slot = 0; slot < n; ++slot) {
+    double target = rng.NextDouble() * mass;
+    size_t pick = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (weight[j] == 0.0) continue;
+      pick = j;  // last live page absorbs rounding leftovers
+      target -= weight[j];
+      if (target < 0.0) break;
+    }
+    assert(pick < n);
+    out.push_back(global.det[pick]);
+    mass -= weight[pick];
+    weight[pick] = 0.0;
+  }
+  return out;
+}
+
+std::shared_ptr<const StochasticRankingPolicy> MakePlackettLucePolicy(
+    double temperature) {
+  return std::make_shared<PlackettLucePolicy>(temperature);
+}
+
+}  // namespace randrank

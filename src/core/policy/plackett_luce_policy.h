@@ -1,0 +1,66 @@
+#ifndef RANDRANK_CORE_POLICY_PLACKETT_LUCE_POLICY_H_
+#define RANDRANK_CORE_POLICY_PLACKETT_LUCE_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/policy/stochastic_ranking_policy.h"
+
+namespace randrank {
+
+/// Plackett-Luce / softmax sampler over the popularity score: result lists
+/// are sampled without replacement with per-slot probabilities proportional
+/// to exp(score / T). Temperature T interpolates between near-deterministic
+/// popularity ranking (T -> 0) and a uniform shuffle (T -> inf) — the
+/// smooth counterpart of the paper's coin-flip merge, after the stochastic
+/// rankers of Ganguly's risk-analysis framework.
+///
+/// Realization uses the Gumbel-max trick: a fresh realization is the pages
+/// sorted by (score/T + Gumbel noise) descending, which equals sequential
+/// softmax sampling without replacement exactly. That costs O(n) per query
+/// (every page draws a key), so this family declares neither the O(m) lazy
+/// prefix nor the epoch prefix cache: `ShardedRankServer` serves it through
+/// the per-query path — which needs no cross-shard merge at all, because
+/// per-page keys are order-independent.
+class PlackettLucePolicy final : public StochasticRankingPolicy {
+ public:
+  explicit PlackettLucePolicy(double temperature)
+      : temperature_(temperature) {}
+
+  std::string Label() const override;
+  PolicyCapabilities Capabilities() const override {
+    return {.lazy_prefix = false,
+            .epoch_prefix_cache = false,
+            .sharded_merge = true,
+            .agent_sim = false,
+            .mean_field = false};
+  }
+  bool Valid() const override { return temperature_ > 0.0; }
+
+  /// Weighted sampling needs every page's score on the deterministic list;
+  /// the stochastic pool stays empty.
+  bool PoolMembership(bool zero_awareness, Rng& rng) const override {
+    (void)zero_awareness;
+    (void)rng;
+    return false;
+  }
+
+  size_t ServePrefix(const ShardView* views, size_t num_views,
+                     PolicyScratch& scratch, size_t m, Rng& rng,
+                     std::vector<uint32_t>* out) const override;
+
+  std::vector<uint32_t> MaterializeReference(const ShardView& global,
+                                             Rng& rng) const override;
+
+  double temperature() const { return temperature_; }
+
+ private:
+  double temperature_;
+};
+
+std::shared_ptr<const StochasticRankingPolicy> MakePlackettLucePolicy(
+    double temperature);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_CORE_POLICY_PLACKETT_LUCE_POLICY_H_

@@ -1,0 +1,49 @@
+#include "core/policy/policy_factory.h"
+
+#include <cstdio>
+
+#include "core/policy/epsilon_tail_policy.h"
+#include "core/policy/plackett_luce_policy.h"
+#include "core/policy/promotion_policy.h"
+#include "core/ranking_policy.h"
+
+namespace randrank {
+
+std::shared_ptr<const StochasticRankingPolicy> MakePolicyFromLabel(
+    const std::string& label) {
+  RankPromotionConfig config;
+  if (RankPromotionConfig::ParseLabel(label, &config)) {
+    return MakePromotionPolicy(config);
+  }
+  // %n guards reject trailing garbage and truncated labels, matching
+  // ParseLabel's strictness: a mangled label must not silently map to a
+  // policy whose Label() differs from the input.
+  double temperature = 0.0;
+  int consumed = 0;
+  if (std::sscanf(label.c_str(), "plackett-luce(T=%lf)%n", &temperature,
+                  &consumed) == 1 &&
+      static_cast<size_t>(consumed) == label.size() && temperature > 0.0) {
+    return MakePlackettLucePolicy(temperature);
+  }
+  double epsilon = 0.0;
+  size_t protect = 0;
+  consumed = 0;
+  if (std::sscanf(label.c_str(), "eps-tail(eps=%lf,k=%zu)%n", &epsilon,
+                  &protect, &consumed) == 2 &&
+      static_cast<size_t>(consumed) == label.size() && epsilon >= 0.0 &&
+      epsilon <= 1.0) {
+    return MakeEpsilonTailPolicy(epsilon, protect);
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<const StochasticRankingPolicy>>
+StandardPolicyFamilies() {
+  return {
+      MakePromotionPolicy(RankPromotionConfig::Recommended(2)),
+      MakePlackettLucePolicy(0.05),
+      MakeEpsilonTailPolicy(0.1, 10),
+  };
+}
+
+}  // namespace randrank

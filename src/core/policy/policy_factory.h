@@ -1,0 +1,34 @@
+#ifndef RANDRANK_CORE_POLICY_POLICY_FACTORY_H_
+#define RANDRANK_CORE_POLICY_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy/stochastic_ranking_policy.h"
+
+namespace randrank {
+
+/// Parses a policy label back into the policy it names — the inverse of
+/// StochasticRankingPolicy::Label() across every shipped family:
+///
+///   "none" | "uniform(r=0.10,k=1)" | "selective(r=0.10,k=2)"   (promotion)
+///   "plackett-luce(T=0.25)"
+///   "eps-tail(eps=0.10,k=10)"
+///
+/// Returns nullptr when the label names no known family or carries
+/// out-of-range parameters. Round-trips exactly for parameters
+/// representable at the labels' two-decimal precision.
+std::shared_ptr<const StochasticRankingPolicy> MakePolicyFromLabel(
+    const std::string& label);
+
+/// One representative policy per shipped family, in stable order: the
+/// paper's recommended promotion recipe, a Plackett-Luce sampler, and an
+/// epsilon-tail explorer. The standard sweep set for perf_serve's policy
+/// points, examples/policy_tuning, and the cross-family tests.
+std::vector<std::shared_ptr<const StochasticRankingPolicy>>
+StandardPolicyFamilies();
+
+}  // namespace randrank
+
+#endif  // RANDRANK_CORE_POLICY_POLICY_FACTORY_H_

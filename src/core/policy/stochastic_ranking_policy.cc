@@ -1,0 +1,28 @@
+#include "core/policy/stochastic_ranking_policy.h"
+
+#include "core/rank_merge.h"
+
+namespace randrank {
+
+size_t BestViewHead(const ShardView* views, const size_t* cursors,
+                    size_t num_views) {
+  size_t best = num_views;
+  for (size_t v = 0; v < num_views; ++v) {
+    const ShardView& view = views[v];
+    const size_t c = cursors[v];
+    if (c >= view.det_size) continue;
+    if (best == num_views) {
+      best = v;
+      continue;
+    }
+    const ShardView& bv = views[best];
+    const size_t bc = cursors[best];
+    if (RankOrderBefore(view.det_score[c], view.det_birth[c], view.det[c],
+                        bv.det_score[bc], bv.det_birth[bc], bv.det[bc])) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace randrank

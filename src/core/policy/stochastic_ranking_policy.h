@@ -1,0 +1,170 @@
+#ifndef RANDRANK_CORE_POLICY_STOCHASTIC_RANKING_POLICY_H_
+#define RANDRANK_CORE_POLICY_STOCHASTIC_RANKING_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/pool_prefix_sampler.h"
+#include "core/ranking_policy.h"
+#include "util/rng.h"
+
+namespace randrank {
+
+/// What a ranking-policy family supports, declared up front so every layer
+/// can pick its fast path (or refuse) without hardwiring per-family
+/// knowledge. The serving, simulation, and model layers consult this
+/// descriptor instead of switching on a concrete type:
+///
+///  * `ShardedRankServer` builds the per-epoch `EpochPrefixCache` only when
+///    `epoch_prefix_cache` is set and otherwise serves every query through
+///    the per-query sharded path;
+///  * `Ranker::PageAtRank` uses the O(rank) lazy cascade only under
+///    `lazy_prefix` and falls back to a prefix realization otherwise;
+///  * `AgentSimulator` / `MeanFieldModel` reject families whose
+///    `agent_sim` / `mean_field` bits are clear — explicitly, at
+///    construction, instead of silently computing the wrong dynamics.
+struct PolicyCapabilities {
+  /// Prefix realizations cost O(m) expected time (and rank resolutions
+  /// O(rank)) — the property behind MergePrefix/ResolveRankLazy.
+  bool lazy_prefix = false;
+  /// Everything invariant across queries within one epoch (global
+  /// deterministic order + pool) may be materialized once per epoch and
+  /// reused: the policy's per-query randomness touches only the tail.
+  bool epoch_prefix_cache = false;
+  /// A multi-shard realization reproduces the unsharded law exactly.
+  bool sharded_merge = false;
+  /// The agent simulator's ghost placement and visit dynamics apply.
+  bool agent_sim = false;
+  /// A mean-field visit map exists for this family.
+  bool mean_field = false;
+};
+
+/// A borrowed, immutable view of one shard's ranking state: the
+/// deterministically ordered pages (best first, with their scores kept
+/// alongside for weighted families and cross-shard interleaving) plus the
+/// stochastic pool. The serve layer builds these from `RankSnapshot`s or
+/// from the per-epoch cache; the core layer builds one from a `Ranker`.
+/// All arrays are borrowed — the owner must outlive the view.
+struct ShardView {
+  const uint32_t* det = nullptr;
+  /// Sort keys of `det` (popularity; ties elsewhere by birth then id).
+  /// May be null when no caller needs weights (promotion-family-only use).
+  const double* det_score = nullptr;
+  const int64_t* det_birth = nullptr;
+  size_t det_size = 0;
+  const uint32_t* pool = nullptr;
+  size_t pool_size = 0;
+
+  size_t n() const { return det_size + pool_size; }
+};
+
+/// Reusable per-caller scratch for ServePrefix: samplers, cursors, and
+/// buffers that would otherwise allocate on every query. One scratch per
+/// serving thread; a scratch must not be shared between concurrent calls.
+/// Policies use the subset they need and leave the rest untouched.
+struct PolicyScratch {
+  /// Per-shard pool samplers (promotion family, uncached path).
+  std::vector<PoolPrefixSampler> samplers;
+  /// Single global-pool sampler (promotion family, cached path).
+  PoolPrefixSampler pool_sampler;
+  /// Per-shard deterministic-list cursors.
+  std::vector<size_t> cursors;
+  /// Pages already emitted this query (epsilon-tail rejection tracking).
+  std::unordered_set<uint32_t> emitted;
+  /// (key, page) buffer for weighted families (Plackett-Luce top-m).
+  std::vector<std::pair<double, uint32_t>> keyed;
+  /// Spare id buffer (explicit-materialization fallbacks).
+  std::vector<uint32_t> ids;
+};
+
+/// A family of stochastic rankers: the policy owns (1) how pages are
+/// partitioned into the deterministic list Ld versus the stochastic pool Pp,
+/// and (2) how a fresh random realization of the result list is drawn from
+/// that state. The paper's randomized rank promotion is one family; the
+/// interface exists so the next family is a single new class instead of a
+/// cross-cutting surgery through core, serve, sim, and bench.
+///
+/// Contract: `ServePrefix` over several ShardViews that together partition
+/// the corpus must realize exactly the same distribution as over the single
+/// pre-merged global view (the serve layer switches between the two freely,
+/// per `Capabilities().epoch_prefix_cache`). Every realization drawn with
+/// the same policy over the same state is independent given `rng`.
+class StochasticRankingPolicy {
+ public:
+  virtual ~StochasticRankingPolicy() = default;
+
+  /// Stable human-readable label like "selective(r=0.10,k=2)" or
+  /// "plackett-luce(T=0.25)"; bench JSONL keys perf points by it and
+  /// MakePolicyFromLabel() inverts it.
+  virtual std::string Label() const = 0;
+
+  virtual PolicyCapabilities Capabilities() const = 0;
+
+  /// True when the family's parameters are in range and consistent.
+  virtual bool Valid() const { return true; }
+
+  /// Partition hook (subsumes PromoteToPool): whether a page with the given
+  /// zero-awareness flag enters the stochastic pool Pp rather than the
+  /// deterministic list Ld. Single source of truth — Ranker::Update,
+  /// RankSnapshot::Build, and the simulator's ghost placement all consult
+  /// it, or sharded serving silently diverges from the simulated
+  /// distribution. Must draw from `rng` a per-page-deterministic number of
+  /// times (zero for most families).
+  virtual bool PoolMembership(bool zero_awareness, Rng& rng) const = 0;
+
+  /// Leading slots of the realization that are always filled from the
+  /// deterministic order (the paper's protected top k-1).
+  virtual size_t ProtectedPrefix() const { return 0; }
+
+  /// Merge hook (subsumes NextSlotFromPool): whether the next result-list
+  /// slot is filled from the pool (true) or the deterministic list (false),
+  /// given how many entries each side still has. Only meaningful for
+  /// families whose realization is the two-list cascade; others may ignore
+  /// it (the default never takes from the pool).
+  virtual bool NextSlot(size_t det_remaining, size_t pool_remaining,
+                        Rng& rng) const {
+    (void)det_remaining;
+    (void)rng;
+    return pool_remaining > 0 && det_remaining == 0;
+  }
+
+  /// Appends the first min(m, n) slots of a fresh realization over the
+  /// given shard views — which together hold the complete corpus — and
+  /// returns how many were appended. A single view is the pre-merged global
+  /// state (the cached serve path and the Ranker); several views require
+  /// the policy to interleave them per the global law (the per-query
+  /// sharded path). `scratch` is caller-owned and reused across queries.
+  virtual size_t ServePrefix(const ShardView* views, size_t num_views,
+                             PolicyScratch& scratch, size_t m, Rng& rng,
+                             std::vector<uint32_t>* out) const = 0;
+
+  /// Reference realization of the full list over the pre-merged global
+  /// view, implemented naively and independently of the ServePrefix fast
+  /// path where possible — the distribution-equivalence tests compare the
+  /// two. Not a hot path.
+  virtual std::vector<uint32_t> MaterializeReference(const ShardView& global,
+                                                     Rng& rng) const = 0;
+
+  /// Downcast hook: the promotion family's configuration, or nullptr for
+  /// every other family. The simulation and analytic layers — whose ghost
+  /// placement and visit maps are promotion-specific — use this to extract
+  /// the config after checking Capabilities().
+  virtual const RankPromotionConfig* AsPromotion() const { return nullptr; }
+};
+
+/// One step of the V-way deterministic interleave over ShardViews: the index
+/// of the view whose det-list head (at its cursor) is next under the global
+/// sort key RankOrderBefore, or `num_views` when every list is exhausted.
+/// The ShardView twin of BestDetHead (serve/rank_snapshot.h) — both must
+/// interleave identically or the cached order diverges from the served one.
+size_t BestViewHead(const ShardView* views, const size_t* cursors,
+                    size_t num_views);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_CORE_POLICY_STOCHASTIC_RANKING_POLICY_H_

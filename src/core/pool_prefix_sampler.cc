@@ -1,0 +1,33 @@
+#include "core/pool_prefix_sampler.h"
+
+#include <cassert>
+
+namespace randrank {
+
+void PoolPrefixSampler::Reset(const uint32_t* pool, size_t size) {
+  pool_ = pool;
+  size_ = size;
+  taken_ = 0;
+  moved_.clear();
+}
+
+uint32_t PoolPrefixSampler::Value(size_t slot) const {
+  const auto it = moved_.find(slot);
+  return it == moved_.end() ? pool_[slot] : it->second;
+}
+
+uint32_t PoolPrefixSampler::Next(Rng& rng) {
+  assert(taken_ < size_);
+  const size_t i = taken_++;
+  const size_t j = i + rng.NextIndex(size_ - i);
+  const uint32_t result = Value(j);
+  if (j != i) {
+    // Classic Fisher-Yates swap, recorded sparsely: slot j now holds what
+    // slot i held; slot i is never revisited, so its entry can be dropped.
+    moved_[j] = Value(i);
+    moved_.erase(i);
+  }
+  return result;
+}
+
+}  // namespace randrank

@@ -4,33 +4,9 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/policy/promotion_policy.h"
+
 namespace randrank {
-
-void PoolPrefixSampler::Reset(const uint32_t* pool, size_t size) {
-  pool_ = pool;
-  size_ = size;
-  taken_ = 0;
-  moved_.clear();
-}
-
-uint32_t PoolPrefixSampler::Value(size_t slot) const {
-  const auto it = moved_.find(slot);
-  return it == moved_.end() ? pool_[slot] : it->second;
-}
-
-uint32_t PoolPrefixSampler::Next(Rng& rng) {
-  assert(taken_ < size_);
-  const size_t i = taken_++;
-  const size_t j = i + rng.NextIndex(size_ - i);
-  const uint32_t result = Value(j);
-  if (j != i) {
-    // Classic Fisher-Yates swap, recorded sparsely: slot j now holds what
-    // slot i held; slot i is never revisited, so its entry can be dropped.
-    moved_[j] = Value(i);
-    moved_.erase(i);
-  }
-  return result;
-}
 
 size_t MergePrefix(const RankPromotionConfig& config,
                    const std::vector<uint32_t>& det,
@@ -101,8 +77,24 @@ uint32_t ResolveRankLazy(const RankPromotionConfig& config,
   return 0;
 }
 
-Ranker::Ranker(RankPromotionConfig config) : config_(config) {
-  assert(config_.Valid());
+Ranker::Ranker(RankPromotionConfig config)
+    : Ranker(MakePromotionPolicy(config)) {}
+
+Ranker::Ranker(std::shared_ptr<const StochasticRankingPolicy> policy)
+    : policy_(std::move(policy)) {
+  assert(policy_ != nullptr);
+  assert(policy_->Valid());
+}
+
+const RankPromotionConfig& Ranker::config() const {
+  const RankPromotionConfig* config = policy_->AsPromotion();
+  assert(config != nullptr && "config() is promotion-family-only");
+  return *config;
+}
+
+ShardView Ranker::GlobalView() const {
+  return {det_.data(),   det_score_.data(), det_birth_.data(),
+          det_.size(),   pool_.data(),      pool_.size()};
 }
 
 void Ranker::Update(const std::vector<double>& popularity,
@@ -116,7 +108,7 @@ void Ranker::Update(const std::vector<double>& popularity,
   pool_.clear();
   det_.reserve(n);
   for (uint32_t p = 0; p < n; ++p) {
-    (PromoteToPool(config_, zero_awareness[p] != 0, rng) ? pool_ : det_)
+    (policy_->PoolMembership(zero_awareness[p] != 0, rng) ? pool_ : det_)
         .push_back(p);
   }
 
@@ -124,15 +116,27 @@ void Ranker::Update(const std::vector<double>& popularity,
     return RankOrderBefore(popularity[a], birth_step[a], a, popularity[b],
                            birth_step[b], b);
   });
+  det_score_.clear();
+  det_birth_.clear();
+  det_score_.reserve(det_.size());
+  det_birth_.reserve(det_.size());
+  for (const uint32_t p : det_) {
+    det_score_.push_back(popularity[p]);
+    det_birth_.push_back(birth_step[p]);
+  }
 }
 
 std::vector<uint32_t> Ranker::MaterializeList(Rng& rng) const {
-  return MaterializeWithPositions(rng, nullptr, nullptr);
+  if (policy_->AsPromotion() != nullptr) {
+    return MaterializeWithPositions(rng, nullptr, nullptr);
+  }
+  return policy_->MaterializeReference(GlobalView(), rng);
 }
 
 std::vector<uint32_t> Ranker::MaterializeWithPositions(
     Rng& rng, std::vector<uint32_t>* det_positions,
     std::vector<uint32_t>* pool_positions) const {
+  const RankPromotionConfig& config = this->config();
   std::vector<uint32_t> shuffled_pool = pool_;
   for (size_t i = shuffled_pool.size(); i > 1; --i) {
     std::swap(shuffled_pool[i - 1], shuffled_pool[rng.NextIndex(i)]);
@@ -142,7 +146,7 @@ std::vector<uint32_t> Ranker::MaterializeWithPositions(
 
   std::vector<uint32_t> out;
   out.reserve(n());
-  const size_t protected_prefix = std::min(config_.k - 1, det_.size());
+  const size_t protected_prefix = std::min(config.k - 1, det_.size());
   size_t d = 0;
   size_t s = 0;
   auto place = [&](bool from_pool) {
@@ -157,20 +161,30 @@ std::vector<uint32_t> Ranker::MaterializeWithPositions(
   };
   while (d < protected_prefix) place(false);
   while (d < det_.size() || s < shuffled_pool.size()) {
-    place(NextSlotFromPool(config_.r, det_.size() - d,
+    place(NextSlotFromPool(config.r, det_.size() - d,
                            shuffled_pool.size() - s, rng));
   }
   return out;
 }
 
 uint32_t Ranker::PageAtRank(size_t rank, Rng& rng) const {
-  return ResolveRankLazy(config_, det_, pool_, rank, rng);
+  const RankPromotionConfig* config = policy_->AsPromotion();
+  if (config != nullptr) {
+    return ResolveRankLazy(*config, det_, pool_, rank, rng);
+  }
+  // Generic fallback: the marginal of rank j in a length-j prefix
+  // realization equals the full-list marginal.
+  const std::vector<uint32_t> prefix = TopM(rank, rng);
+  assert(prefix.size() == rank);
+  return prefix.back();
 }
 
 std::vector<uint32_t> Ranker::TopM(size_t m, Rng& rng) const {
   std::vector<uint32_t> out;
   out.reserve(std::min(m, n()));
-  MergePrefix(config_, det_, pool_, m, rng, &out);
+  const ShardView view = GlobalView();
+  PolicyScratch scratch;
+  policy_->ServePrefix(&view, 1, scratch, m, rng, &out);
   return out;
 }
 

@@ -2,9 +2,11 @@
 #define RANDRANK_CORE_RANK_MERGE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "core/policy/stochastic_ranking_policy.h"
+#include "core/pool_prefix_sampler.h"
 #include "core/ranking_policy.h"
 #include "util/rng.h"
 
@@ -55,39 +57,6 @@ inline bool NextSlotFromPool(double r, size_t det_remaining,
   return rng.NextBernoulli(r);
 }
 
-/// Draws elements of a fixed pool uniformly at random without replacement,
-/// resolving only the slots actually requested (sparse Fisher-Yates: swaps
-/// are recorded in a hash map instead of a copied array). Drawing the first
-/// m of z pool elements costs O(m) expected time and memory, independent of
-/// z — the property the serving layer relies on to answer top-m queries
-/// without materializing the whole pool.
-///
-/// The referenced pool array must outlive the sampler and stay unchanged
-/// until the next Reset(). Reset() rebinds without releasing the map's
-/// capacity, so a per-query sampler does not reallocate in steady state.
-class PoolPrefixSampler {
- public:
-  PoolPrefixSampler() = default;
-  PoolPrefixSampler(const uint32_t* pool, size_t size) { Reset(pool, size); }
-
-  /// Rebinds to a new pool and restarts the shuffle.
-  void Reset(const uint32_t* pool, size_t size);
-
-  /// Next element of the lazily shuffled pool. remaining() must be > 0.
-  uint32_t Next(Rng& rng);
-
-  size_t remaining() const { return size_ - taken_; }
-  size_t size() const { return size_; }
-
- private:
-  uint32_t Value(size_t slot) const;
-
-  const uint32_t* pool_ = nullptr;
-  size_t size_ = 0;
-  size_t taken_ = 0;
-  std::unordered_map<size_t, uint32_t> moved_;  // slot -> displaced value
-};
-
 /// Appends the first min(m, det.size() + pool.size()) slots of a fresh
 /// random realization of the merged list to `out` and returns how many were
 /// appended. Identical in distribution to the prefix of MaterializeList, but
@@ -124,24 +93,31 @@ uint32_t ResolveRankLazy(const RankPromotionConfig& config,
                          const std::vector<uint32_t>& pool, size_t rank,
                          Rng& rng);
 
-/// Executes the paper's ranking pipeline for one time step (Section 4):
+/// Executes the ranking pipeline for one time step under any
+/// StochasticRankingPolicy (the paper's Section 4 pipeline is the promotion
+/// family):
 ///
-///  1. Split pages into the promotion pool Pp (per the configured rule) and
-///     the rest, which forms the deterministic list Ld sorted by descending
-///     popularity (ties broken by age, older first, as in Appendix A).
-///  2. Produce result lists: either a full materialized permutation (the
-///     shuffled pool merged into Ld with per-slot probability r after the
-///     protected top k-1), or a lazy per-visit resolution of "which page sits
-///     at rank j in a fresh random realization" in O(j) time.
+///  1. Split pages into the stochastic pool Pp (per the policy's
+///     PoolMembership hook) and the rest, which forms the deterministic
+///     list Ld sorted by descending popularity (ties broken by age, older
+///     first, as in Appendix A). Scores and birth steps are kept alongside
+///     for weighted families and cross-shard interleaving.
+///  2. Produce result lists: either a full materialized permutation, or a
+///     prefix/per-rank realization through the policy's ServePrefix hook.
 ///
-/// The lazy path exploits two facts: positions are filled left-to-right by
-/// independent biased coins, and the s-th element of a uniformly shuffled
-/// pool is marginally uniform over the pool. Rank-biased visits concentrate
-/// on small j (E[j] ~ 0.77*sqrt(n)), so resolving one visit is far cheaper
-/// than materializing all n slots.
+/// For the promotion family the lazy path exploits two facts: positions are
+/// filled left-to-right by independent biased coins, and the s-th element of
+/// a uniformly shuffled pool is marginally uniform over the pool.
+/// Rank-biased visits concentrate on small j (E[j] ~ 0.77*sqrt(n)), so
+/// resolving one visit is far cheaper than materializing all n slots.
+/// Families without that structure (Capabilities().lazy_prefix clear) fall
+/// back to a length-j prefix realization per visit.
 class Ranker {
  public:
+  /// Promotion-family convenience: equivalent to constructing from
+  /// MakePromotionPolicy(config), bit-for-bit including Rng consumption.
   explicit Ranker(RankPromotionConfig config);
+  explicit Ranker(std::shared_ptr<const StochasticRankingPolicy> policy);
 
   /// Recomputes pool membership and the deterministic order from current
   /// page state. `popularity[p]` in [0,1]; `zero_awareness[p]` nonzero when
@@ -161,28 +137,48 @@ class Ranker {
   /// position of deterministic_order()[j]; `pool_positions[s]` the position
   /// of the s-th slot of the shuffled pool. Used by the simulator to place
   /// probe ("ghost") pages into a realized list without rebuilding it.
+  /// Promotion family only (the positions describe the two-list cascade).
   std::vector<uint32_t> MaterializeWithPositions(
       Rng& rng, std::vector<uint32_t>* det_positions,
       std::vector<uint32_t>* pool_positions) const;
 
   /// Resolves the page occupying `rank` (1-based) in an independent random
-  /// realization of the merged list, without building the list.
+  /// realization of the merged list, without building the list. O(rank) for
+  /// the promotion family; other families realize a length-`rank` prefix.
   uint32_t PageAtRank(size_t rank, Rng& rng) const;
 
-  /// First min(m, n()) slots of an independent random realization, in O(m)
-  /// expected time (see MergePrefix). Marginals match MaterializeList.
+  /// First min(m, n()) slots of an independent random realization, via the
+  /// policy's ServePrefix. Marginals match MaterializeList; O(m) expected
+  /// when the policy declares Capabilities().lazy_prefix.
   std::vector<uint32_t> TopM(size_t m, Rng& rng) const;
 
   /// Deterministically ranked pages (Ld), best first.
   const std::vector<uint32_t>& deterministic_order() const { return det_; }
-  /// Promotion pool Pp (unshuffled).
+  /// Ranking scores of deterministic_order(), kept for weighted families.
+  const std::vector<double>& deterministic_scores() const {
+    return det_score_;
+  }
+  /// Stochastic pool Pp (unshuffled; empty for pool-less families).
   const std::vector<uint32_t>& pool() const { return pool_; }
-  const RankPromotionConfig& config() const { return config_; }
+  const StochasticRankingPolicy& policy() const { return *policy_; }
+  /// Promotion-family configuration; must only be called when the policy is
+  /// the promotion family (see StochasticRankingPolicy::AsPromotion).
+  const RankPromotionConfig& config() const;
   size_t n() const { return det_.size() + pool_.size(); }
 
  private:
-  RankPromotionConfig config_;
+  /// The complete corpus as one pre-merged global view (borrowing this
+  /// ranker's arrays; valid until the next Update).
+  ShardView GlobalView() const;
+
+  std::shared_ptr<const StochasticRankingPolicy> policy_;
   std::vector<uint32_t> det_;
+  // Scores and birth steps are kept so GlobalView() satisfies the full
+  // ShardView contract (weighted families read scores; births are the
+  // interleave tiebreaker) — pre-paid even where today's single-view calls
+  // never compare, so policies need no null-view special cases.
+  std::vector<double> det_score_;
+  std::vector<int64_t> det_birth_;
   std::vector<uint32_t> pool_;
 };
 

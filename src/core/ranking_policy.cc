@@ -31,6 +31,35 @@ bool RankPromotionConfig::Valid() const {
   return true;
 }
 
+bool RankPromotionConfig::ParseLabel(const std::string& label,
+                                     RankPromotionConfig* out) {
+  if (label == "none") {
+    *out = None();
+    return true;
+  }
+  double r = 0.0;
+  size_t k = 0;
+  // %n guards against trailing garbage ("uniform(r=0.10,k=1)x" must fail).
+  int consumed = 0;
+  if (std::sscanf(label.c_str(), "uniform(r=%lf,k=%zu)%n", &r, &k,
+                  &consumed) == 2 &&
+      static_cast<size_t>(consumed) == label.size()) {
+    const RankPromotionConfig parsed = Uniform(r, k);
+    if (!parsed.Valid()) return false;
+    *out = parsed;
+    return true;
+  }
+  if (std::sscanf(label.c_str(), "selective(r=%lf,k=%zu)%n", &r, &k,
+                  &consumed) == 2 &&
+      static_cast<size_t>(consumed) == label.size()) {
+    const RankPromotionConfig parsed = Selective(r, k);
+    if (!parsed.Valid()) return false;
+    *out = parsed;
+    return true;
+  }
+  return false;
+}
+
 std::string RankPromotionConfig::Label() const {
   char buf[64];
   switch (rule) {

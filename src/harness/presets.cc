@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/policy/epsilon_tail_policy.h"
+#include "core/policy/plackett_luce_policy.h"
+#include "core/policy/promotion_policy.h"
+#include "core/ranking_policy.h"
+
 namespace randrank {
 
 CommunityParams CommunityOfSize(size_t n) {
@@ -50,6 +55,25 @@ CommunityParams ScaledDown(const CommunityParams& params, size_t factor) {
   p.visits_per_day =
       std::max(1.0, params.visits_per_day / static_cast<double>(factor));
   return p;
+}
+
+std::vector<std::shared_ptr<const StochasticRankingPolicy>>
+PolicyTuningGrid() {
+  std::vector<std::shared_ptr<const StochasticRankingPolicy>> grid;
+  // Promotion family around the paper's Section 6.4 recommendation.
+  for (const double r : {0.05, 0.1, 0.2}) {
+    grid.push_back(MakePromotionPolicy(RankPromotionConfig::Selective(r, 2)));
+  }
+  // Plackett-Luce: popularity scores live in [0, 1], so temperatures around
+  // a few percent of that span keep the head stable while mixing the tail.
+  for (const double t : {0.02, 0.05, 0.1}) {
+    grid.push_back(MakePlackettLucePolicy(t));
+  }
+  // Epsilon-tail: protect the paper's "page one" and explore below it.
+  for (const double eps : {0.05, 0.1, 0.2}) {
+    grid.push_back(MakeEpsilonTailPolicy(eps, 10));
+  }
+  return grid;
 }
 
 }  // namespace randrank

@@ -2,8 +2,11 @@
 #define RANDRANK_HARNESS_PRESETS_H_
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "core/community.h"
+#include "core/policy/stochastic_ranking_policy.h"
 
 namespace randrank {
 
@@ -28,6 +31,13 @@ CommunityParams CommunityWithUsers(size_t users);
 /// Scale-reduced clone of a community for fast test runs: divides n, u, m
 /// and visits by `factor`, keeping ratios (min community floors applied).
 CommunityParams ScaledDown(const CommunityParams& params, size_t factor);
+
+/// Cross-family tuning grid for examples/policy_tuning and ad-hoc serving
+/// comparisons: a small parameter grid per shipped policy family — the
+/// promotion family around the paper's recommendation, Plackett-Luce over a
+/// temperature ladder, and the epsilon-tail explorer over epsilon. Every
+/// entry is Valid(); labels are unique (they key result tables).
+std::vector<std::shared_ptr<const StochasticRankingPolicy>> PolicyTuningGrid();
 
 }  // namespace randrank
 

@@ -1,10 +1,12 @@
 #ifndef RANDRANK_HARNESS_SWEEP_H_
 #define RANDRANK_HARNESS_SWEEP_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/community.h"
+#include "core/policy/stochastic_ranking_policy.h"
 #include "core/ranking_policy.h"
 #include "sim/agent_sim.h"
 #include "sim/sim_result.h"
@@ -17,7 +19,12 @@ struct SweepPoint {
   /// Numeric x-axis value the point corresponds to (r, n, l, ...).
   double x = 0.0;
   CommunityParams params;
+  /// Promotion-family configuration (the paper's figures sweep this).
   RankPromotionConfig config;
+  /// General ranking policy; when set it overrides `config`. The simulator
+  /// still rejects families without the agent_sim capability, so a sweep
+  /// over mixed families fails loudly rather than plotting wrong dynamics.
+  std::shared_ptr<const StochasticRankingPolicy> policy;
   SimOptions options;
 };
 

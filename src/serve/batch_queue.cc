@@ -44,10 +44,26 @@ bool BatchQueue::Enqueue(PendingQuery&& query) {
       });
     }
     if (stopping_) return false;
+    if (pending_.empty()) {
+      // This query anchors the drain deadline for the batch it starts.
+      oldest_pending_at_ = std::chrono::steady_clock::now();
+    }
     pending_.push_back(std::move(query));
   }
   submitted_.notify_one();
   return true;
+}
+
+BatchQueueStats BatchQueue::stats() const {
+  BatchQueueStats stats;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.batches_served = batches_served_.load(std::memory_order_relaxed);
+  stats.max_batch_served = max_batch_served_.load(std::memory_order_relaxed);
+  stats.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  stats.full_drains = full_drains_.load(std::memory_order_relaxed);
+  stats.deadline_drains = deadline_drains_.load(std::memory_order_relaxed);
+  stats.greedy_drains = greedy_drains_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void BatchQueue::Stop() {
@@ -67,6 +83,7 @@ void BatchQueue::Stop() {
 void BatchQueue::ConsumerLoop() {
   ShardedRankServer::Context ctx = server_.CreateContext();
   const size_t max_batch = std::max<size_t>(1, opts_.max_batch);
+  const auto max_delay = std::chrono::microseconds(opts_.max_delay_us);
   QueryBatch batch;
   std::vector<PendingQuery> draining;
 
@@ -75,6 +92,25 @@ void BatchQueue::ConsumerLoop() {
       std::unique_lock<std::mutex> lock(mutex_);
       submitted_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
       if (pending_.empty()) return;  // stopping and fully drained
+      if (opts_.max_delay_us == 0 || stopping_) {
+        greedy_drains_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Deadline-aware collection: hold the drain until the batch is full
+        // or the oldest pending query has waited max_delay_us. The anchor
+        // is pending_[0]'s arrival, so the bound is per-query, not sliding.
+        const auto deadline = oldest_pending_at_ + max_delay;
+        const bool full = submitted_.wait_until(lock, deadline, [&] {
+          return stopping_ || pending_.size() >= max_batch;
+        });
+        (stopping_ ? greedy_drains_ : full ? full_drains_ : deadline_drains_)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+      // This thread is the only writer of the max counters; plain
+      // load/store suffices.
+      const uint64_t depth = pending_.size();
+      if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
+        max_queue_depth_.store(depth, std::memory_order_relaxed);
+      }
       draining.swap(pending_);
     }
     drained_.notify_all();
@@ -103,6 +139,9 @@ void BatchQueue::ConsumerLoop() {
       }
       queries_served_.fetch_add(count, std::memory_order_relaxed);
       batches_served_.fetch_add(1, std::memory_order_relaxed);
+      if (count > max_batch_served_.load(std::memory_order_relaxed)) {
+        max_batch_served_.store(count, std::memory_order_relaxed);
+      }
       begin = end;
     }
     draining.clear();

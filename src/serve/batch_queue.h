@@ -2,6 +2,7 @@
 #define RANDRANK_SERVE_BATCH_QUEUE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -21,6 +22,39 @@ struct BatchQueueOptions {
   /// Backpressure: Submit blocks while this many queries are already queued.
   /// 0 means unbounded.
   size_t max_pending = 1 << 16;
+  /// Deadline-aware batching: the consumer drains once `max_batch` queries
+  /// are pending OR the oldest pending query has waited this long, whichever
+  /// comes first. 0 (default) drains greedily — whatever is pending the
+  /// moment the consumer is free, with no added latency floor. A nonzero
+  /// delay trades per-query latency for fuller batches under light load
+  /// (fewer view pins per query); it never delays a full batch.
+  uint64_t max_delay_us = 0;
+};
+
+/// Point-in-time occupancy counters for tuning the queue (see
+/// BatchQueue::stats). Monotone totals; read with relaxed ordering, so a
+/// concurrent reader may see totals from slightly different instants.
+struct BatchQueueStats {
+  /// Queries and ServeBatch executions completed so far.
+  uint64_t queries_served = 0;
+  uint64_t batches_served = 0;
+  /// Largest single ServeBatch execution observed.
+  uint64_t max_batch_served = 0;
+  /// Deepest backlog observed at any drain.
+  uint64_t max_queue_depth = 0;
+  /// Drains triggered by a full batch vs. by the max_delay_us deadline
+  /// expiring vs. greedily (no deadline configured, or stop-drain).
+  uint64_t full_drains = 0;
+  uint64_t deadline_drains = 0;
+  uint64_t greedy_drains = 0;
+
+  /// Mean queries per ServeBatch execution.
+  double mean_batch_size() const {
+    return batches_served > 0
+               ? static_cast<double>(queries_served) /
+                     static_cast<double>(batches_served)
+               : 0.0;
+  }
 };
 
 /// Async submission front-end for ShardedRankServer: a multi-producer,
@@ -30,7 +64,10 @@ struct BatchQueueOptions {
 /// they enqueue and move on, so one producer can pipeline many in-flight
 /// queries — and the batch size adapts to load: near-empty queues serve
 /// batches of one (no added latency floor), bursts are swallowed at up to
-/// max_batch per view pin.
+/// max_batch per view pin. With BatchQueueOptions::max_delay_us set the
+/// consumer instead collects up to max_batch or T microseconds, whichever
+/// first (deadline-aware batching); queue-depth and batch-size counters
+/// (stats()) expose the resulting occupancy for tuning.
 ///
 /// Producers pay one mutex acquisition per Submit; the consumer takes the
 /// whole pending backlog in one swap, so the lock is never held during
@@ -72,6 +109,10 @@ class BatchQueue {
     return batches_served_.load(std::memory_order_relaxed);
   }
 
+  /// Occupancy counters so deadline/batch knobs can be tuned from
+  /// measurement instead of folklore. Thread-safe; totals are relaxed reads.
+  BatchQueueStats stats() const;
+
  private:
   struct PendingQuery {
     size_t m = 0;
@@ -90,10 +131,18 @@ class BatchQueue {
   std::condition_variable submitted_;
   std::condition_variable drained_;
   std::vector<PendingQuery> pending_;
+  /// Arrival time of pending_[0] (the deadline anchor); meaningful only
+  /// while pending_ is non-empty. Guarded by mutex_.
+  std::chrono::steady_clock::time_point oldest_pending_at_;
   bool stopping_ = false;
 
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> batches_served_{0};
+  std::atomic<uint64_t> max_batch_served_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> full_drains_{0};
+  std::atomic<uint64_t> deadline_drains_{0};
+  std::atomic<uint64_t> greedy_drains_{0};
 
   std::thread consumer_;
 };

@@ -19,6 +19,7 @@ std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
     pool_total += shard->pool.size();
   }
   cache->det.reserve(det_total);
+  cache->det_score.reserve(det_total);
   cache->pool.reserve(pool_total);
 
   // S-way merge on the global sort key — BestDetHead is the same merge step
@@ -31,7 +32,9 @@ std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
   for (size_t produced = 0; produced < det_total; ++produced) {
     const size_t best = BestDetHead(snaps.data(), cursor.data(), shards);
     assert(best < shards);
-    cache->det.push_back(snaps[best]->det[cursor[best]++]);
+    cache->det.push_back(snaps[best]->det[cursor[best]]);
+    cache->det_score.push_back(snaps[best]->det_score[cursor[best]]);
+    ++cursor[best];
   }
 
   for (const auto& shard : view.shards) {

@@ -37,11 +37,22 @@ struct EpochPrefixCache {
   /// entries are the protected prefix — the serve path (MergePrefixCached)
   /// derives that bound from the config, the one source of truth for k.
   std::vector<uint32_t> det;
-  /// Global promotion pool (all shards concatenated, unshuffled; order is
+  /// Sort keys of `det`, carried through the merge so cache-capable
+  /// weighted families see a complete global view.
+  std::vector<double> det_score;
+  /// Global stochastic pool (all shards concatenated, unshuffled; order is
   /// irrelevant because every draw path shuffles uniformly).
   std::vector<uint32_t> pool;
 
   size_t n() const { return det.size() + pool.size(); }
+
+  /// The cached global state as a borrowed single policy view. `det_birth`
+  /// is null: birth steps only break ties while merging, which already
+  /// happened when this cache was built.
+  ShardView AsView() const {
+    return {det.data(), det_score.data(), nullptr,
+            det.size(), pool.data(),      pool.size()};
+  }
 
   /// Runs the S-way deterministic merge over `view`'s shard snapshots and
   /// concatenates their pools. O(n·S) time, O(n) memory; called once per

@@ -52,6 +52,7 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
   if (options.async) {
     BatchQueueOptions qopts;
     qopts.max_batch = batch_size;
+    qopts.max_delay_us = options.async_max_delay_us;
     queue = std::make_unique<BatchQueue>(server, qopts);
   }
 

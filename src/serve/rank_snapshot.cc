@@ -3,33 +3,43 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/policy/promotion_policy.h"
 #include "core/rank_merge.h"
 
 namespace randrank {
 
 size_t RankSnapshot::TopM(size_t m, Rng& rng, std::vector<uint32_t>* out) const {
-  return MergePrefix(config, det, pool, m, rng, out);
+  const RankPromotionConfig* config = policy->AsPromotion();
+  if (config != nullptr) return MergePrefix(*config, det, pool, m, rng, out);
+  const ShardView view = AsView();
+  PolicyScratch scratch;
+  return policy->ServePrefix(&view, 1, scratch, m, rng, out);
 }
 
 uint32_t RankSnapshot::PageAtRank(size_t rank, Rng& rng) const {
-  return ResolveRankLazy(config, det, pool, rank, rng);
+  const RankPromotionConfig* config = policy->AsPromotion();
+  if (config != nullptr) return ResolveRankLazy(*config, det, pool, rank, rng);
+  std::vector<uint32_t> prefix;
+  TopM(rank, rng, &prefix);
+  assert(prefix.size() == rank);
+  return prefix.back();
 }
 
 std::shared_ptr<const RankSnapshot> RankSnapshot::Build(
-    const RankPromotionConfig& config, uint64_t epoch,
+    std::shared_ptr<const StochasticRankingPolicy> policy, uint64_t epoch,
     const std::vector<uint32_t>& pages, const std::vector<double>& popularity,
     const std::vector<uint8_t>& zero_awareness,
     const std::vector<int64_t>& birth_step, Rng& rng) {
-  assert(config.Valid());
+  assert(policy != nullptr && policy->Valid());
   auto snap = std::make_shared<RankSnapshot>();
   snap->epoch = epoch;
-  snap->config = config;
+  snap->policy = std::move(policy);
   snap->det.reserve(pages.size());
 
   for (const uint32_t p : pages) {
     assert(p < popularity.size());
-    (PromoteToPool(config, zero_awareness[p] != 0, rng) ? snap->pool
-                                                        : snap->det)
+    (snap->policy->PoolMembership(zero_awareness[p] != 0, rng) ? snap->pool
+                                                               : snap->det)
         .push_back(p);
   }
 
@@ -44,6 +54,15 @@ std::shared_ptr<const RankSnapshot> RankSnapshot::Build(
     snap->det_birth.push_back(birth_step[p]);
   }
   return snap;
+}
+
+std::shared_ptr<const RankSnapshot> RankSnapshot::Build(
+    const RankPromotionConfig& config, uint64_t epoch,
+    const std::vector<uint32_t>& pages, const std::vector<double>& popularity,
+    const std::vector<uint8_t>& zero_awareness,
+    const std::vector<int64_t>& birth_step, Rng& rng) {
+  return Build(MakePromotionPolicy(config), epoch, pages, popularity,
+               zero_awareness, birth_step, rng);
 }
 
 size_t BestDetHead(const RankSnapshot* const* snaps, const size_t* cursors,

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/policy/stochastic_ranking_policy.h"
 #include "core/ranking_policy.h"
 #include "util/rng.h"
 
@@ -21,31 +22,49 @@ struct RankSnapshot {
   /// Monotone publish generation; every shard snapshot in one ServingView
   /// carries the same epoch.
   uint64_t epoch = 0;
-  RankPromotionConfig config;
+  /// The policy this snapshot was partitioned under.
+  std::shared_ptr<const StochasticRankingPolicy> policy;
 
   /// Deterministically ranked pages of this shard, best first (global ids).
   std::vector<uint32_t> det;
   /// Sort keys of `det`, kept so a cross-shard merge can interleave several
-  /// shards' lists exactly as one global sort would have.
+  /// shards' lists exactly as one global sort would have (and so weighted
+  /// families can score their draws).
   std::vector<double> det_score;
   std::vector<int64_t> det_birth;
-  /// Promotion pool of this shard (unshuffled, global ids).
+  /// Stochastic pool of this shard (unshuffled, global ids).
   std::vector<uint32_t> pool;
 
   size_t n() const { return det.size() + pool.size(); }
 
+  /// This shard's state as a borrowed policy view (valid while the snapshot
+  /// lives — snapshots are immutable after Build).
+  ShardView AsView() const {
+    return {det.data(),  det_score.data(), det_birth.data(),
+            det.size(),  pool.data(),      pool.size()};
+  }
+
   /// First min(m, n()) slots of a fresh random realization of this shard's
-  /// merged list, appended to `out`, in O(m) expected time.
+  /// merged list, appended to `out`; O(m) expected time for policies with
+  /// the lazy_prefix capability.
   size_t TopM(size_t m, Rng& rng, std::vector<uint32_t>* out) const;
 
-  /// Page at `rank` (1-based) in an independent realization, O(rank).
+  /// Page at `rank` (1-based) in an independent realization.
   uint32_t PageAtRank(size_t rank, Rng& rng) const;
 
   /// Builds a snapshot for the shard owning `pages` from global page state,
-  /// mirroring Ranker::Update: pool membership per `config.rule`, then the
-  /// remainder sorted by (popularity desc, birth asc, id asc). `rng` is only
-  /// drawn from under the uniform rule (pool membership is re-sampled per
-  /// build, as in Ranker).
+  /// mirroring Ranker::Update: pool membership per the policy's hook, then
+  /// the remainder sorted by (popularity desc, birth asc, id asc). `rng` is
+  /// only drawn from when the policy's PoolMembership draws (the uniform
+  /// promotion rule; membership is re-sampled per build, as in Ranker).
+  static std::shared_ptr<const RankSnapshot> Build(
+      std::shared_ptr<const StochasticRankingPolicy> policy, uint64_t epoch,
+      const std::vector<uint32_t>& pages, const std::vector<double>& popularity,
+      const std::vector<uint8_t>& zero_awareness,
+      const std::vector<int64_t>& birth_step, Rng& rng);
+
+  /// Promotion-family convenience, bit-identical to the policy overload
+  /// with MakePromotionPolicy(config).
   static std::shared_ptr<const RankSnapshot> Build(
       const RankPromotionConfig& config, uint64_t epoch,
       const std::vector<uint32_t>& pages, const std::vector<double>& popularity,

@@ -3,23 +3,40 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/policy/promotion_policy.h"
 #include "serve/epoch_prefix_cache.h"
 
 namespace randrank {
 
-ShardedRankServer::ShardedRankServer(RankPromotionConfig config,
-                                     size_t num_pages, ServeOptions options)
-    : config_(config),
+ShardedRankServer::ShardedRankServer(
+    std::shared_ptr<const StochasticRankingPolicy> policy, size_t num_pages,
+    ServeOptions options)
+    : policy_(std::move(policy)),
       n_(num_pages),
       opts_(options),
       writer_rng_(Rng::ForStream(options.seed, 0)),
       visit_counts_(num_pages, 0) {
-  assert(config_.Valid());
+  assert(policy_ != nullptr && policy_->Valid());
   const size_t shards = std::max<size_t>(1, opts_.shards);
   shard_pages_.resize(std::min(shards, std::max<size_t>(1, num_pages)));
   for (uint32_t p = 0; p < num_pages; ++p) {
     shard_pages_[p % shard_pages_.size()].push_back(p);
   }
+}
+
+ShardedRankServer::ShardedRankServer(RankPromotionConfig config,
+                                     size_t num_pages, ServeOptions options)
+    : ShardedRankServer(MakePromotionPolicy(config), num_pages, options) {}
+
+const RankPromotionConfig& ShardedRankServer::config() const {
+  const RankPromotionConfig* config = policy_->AsPromotion();
+  assert(config != nullptr && "config() is promotion-family-only");
+  return *config;
+}
+
+bool ShardedRankServer::PrefixCacheActive() const {
+  const std::shared_ptr<const ServingView> view = store_.Load(nullptr);
+  return view != nullptr && view->cache != nullptr;
 }
 
 void ShardedRankServer::Update(const std::vector<double>& popularity,
@@ -45,7 +62,7 @@ void ShardedRankServer::Update(const std::vector<double>& popularity,
 
   auto build_shard = [&](size_t s) {
     view->shards[s] =
-        RankSnapshot::Build(config_, epoch, shard_pages_[s], popularity,
+        RankSnapshot::Build(policy_, epoch, shard_pages_[s], popularity,
                             zero_awareness, birth_step, build_rngs[s]);
   };
   if (pool != nullptr && shard_pages_.size() > 1) {
@@ -54,7 +71,12 @@ void ShardedRankServer::Update(const std::vector<double>& popularity,
     for (size_t s = 0; s < shard_pages_.size(); ++s) build_shard(s);
   }
 
-  if (opts_.enable_prefix_cache) {
+  // The cache participates only when the policy declares support: a family
+  // whose per-query randomness is not confined to the tail (e.g.
+  // Plackett-Luce redraws every slot) gains nothing from the materialized
+  // global order, so the server falls back to the per-query path.
+  if (opts_.enable_prefix_cache &&
+      policy_->Capabilities().epoch_prefix_cache) {
     view->cache = EpochPrefixCache::Build(*view);
   }
 
@@ -71,9 +93,9 @@ ShardedRankServer::Context ShardedRankServer::CreateContext() const {
   ctx.rng_ = Rng::ForStream(opts_.seed, stream);
   ctx.visit_batch_.reserve(opts_.feedback_batch);
   const size_t shards = shard_pages_.size();
-  ctx.snaps_.resize(shards);
-  ctx.det_cursor_.resize(shards);
-  ctx.samplers_.resize(shards);
+  ctx.views_.reserve(shards);
+  ctx.scratch_.samplers.reserve(shards);
+  ctx.scratch_.cursors.reserve(shards);
   return ctx;
 }
 
@@ -99,65 +121,20 @@ size_t ShardedRankServer::ServeBatch(Context& ctx, QueryBatch* batch) const {
 size_t ShardedRankServer::ServeOne(Context& ctx, const ServingView& view,
                                    size_t m, std::vector<uint32_t>* out) const {
   const EpochPrefixCache* cache = view.cache.get();
-  if (cache == nullptr) return ServeUncached(ctx, view, m, out);
-  // Cached path: the cross-shard deterministic merge and the global pool
-  // were materialized once when this epoch was published; a query is the
-  // protected-prefix copy plus the O(m) randomized splice.
-  ctx.pool_sampler_.Reset(cache->pool.data(), cache->pool.size());
-  return MergePrefixCached(config_, cache->det.data(), cache->det.size(),
-                           ctx.pool_sampler_, m, ctx.rng_, out);
-}
-
-size_t ShardedRankServer::ServeUncached(Context& ctx, const ServingView& view,
-                                        size_t m,
-                                        std::vector<uint32_t>* out) const {
+  if (cache != nullptr) {
+    // Cached path: the cross-shard deterministic merge and the global pool
+    // were materialized once when this epoch was published; the policy
+    // realizes against the single pre-merged global view (for the
+    // promotion family: the protected-prefix copy plus the O(m) splice).
+    const ShardView global = cache->AsView();
+    return policy_->ServePrefix(&global, 1, ctx.scratch_, m, ctx.rng_, out);
+  }
+  // Per-query path: the policy realizes directly over the shard views.
   const size_t shards = view.shards.size();
-  size_t det_remaining = 0;
-  size_t pool_remaining = 0;
-  for (size_t s = 0; s < shards; ++s) {
-    const RankSnapshot* snap = view.shards[s].get();
-    ctx.snaps_[s] = snap;
-    ctx.det_cursor_[s] = 0;
-    ctx.samplers_[s].Reset(snap->pool.data(), snap->pool.size());
-    det_remaining += snap->det.size();
-    pool_remaining += snap->pool.size();
-  }
-
-  const size_t count = std::min(m, det_remaining + pool_remaining);
-  Rng& rng = ctx.rng_;
-
-  // Next element of the global deterministic order: the best head among the
-  // shards' sorted lists under the global key (BestDetHead — shared with
-  // the epoch cache's merge). Linear scan over S; S is small on purpose.
-  auto next_det = [&]() -> uint32_t {
-    const size_t best =
-        BestDetHead(ctx.snaps_.data(), ctx.det_cursor_.data(), shards);
-    assert(best < shards);
-    --det_remaining;
-    return ctx.snaps_[best]->det[ctx.det_cursor_[best]++];
-  };
-
-  const size_t protected_prefix = std::min(config_.k - 1, det_remaining);
-  while (out->size() < count && out->size() < protected_prefix) {
-    out->push_back(next_det());
-  }
-  while (out->size() < count) {
-    if (NextSlotFromPool(config_.r, det_remaining, pool_remaining, rng)) {
-      // Uniform draw from the remaining global pool: pick a shard weighted
-      // by its remaining pool mass, then draw without replacement inside it.
-      uint64_t t = rng.NextIndex(pool_remaining);
-      size_t s = 0;
-      while (t >= ctx.samplers_[s].remaining()) {
-        t -= ctx.samplers_[s].remaining();
-        ++s;
-      }
-      out->push_back(ctx.samplers_[s].Next(rng));
-      --pool_remaining;
-    } else {
-      out->push_back(next_det());
-    }
-  }
-  return count;
+  ctx.views_.resize(shards);
+  for (size_t s = 0; s < shards; ++s) ctx.views_[s] = view.shards[s]->AsView();
+  return policy_->ServePrefix(ctx.views_.data(), shards, ctx.scratch_, m,
+                              ctx.rng_, out);
 }
 
 void ShardedRankServer::RecordVisit(Context& ctx, uint32_t page) {

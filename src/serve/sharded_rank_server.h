@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/policy/stochastic_ranking_policy.h"
 #include "core/rank_merge.h"
 #include "core/ranking_policy.h"
 #include "serve/rank_snapshot.h"
@@ -28,8 +29,10 @@ struct ServeOptions {
   /// Build an EpochPrefixCache per published ServingView: the cross-shard
   /// deterministic merge runs once per epoch instead of once per query, and
   /// the serve path becomes an O(m) splice independent of the shard count.
-  /// Off reproduces the per-query S-way merge (kept for ablation; both paths
-  /// realize exactly the MaterializeList distribution).
+  /// Off reproduces the per-query sharded path (kept for ablation; both
+  /// paths realize exactly the MaterializeList distribution). Effective only
+  /// when the policy's Capabilities() also declare epoch_prefix_cache;
+  /// otherwise every query takes the per-query path regardless.
   bool enable_prefix_cache = true;
 };
 
@@ -50,10 +53,11 @@ struct QueryBatch {
   void Resize(size_t count) { results.resize(count); }
 };
 
-/// Multi-threaded query-serving engine for randomized rank promotion: each
-/// query receives the first m slots of a *fresh* random realization of the
-/// merged list (paper Section 4), resolved in O(m·S) expected time without
-/// materializing the n-page list.
+/// Multi-threaded query-serving engine for stochastic ranking: each query
+/// receives the first m slots of a *fresh* random realization of the
+/// policy's result-list law (the paper's randomized rank promotion is the
+/// default family), resolved without materializing the n-page list whenever
+/// the policy supports it.
 ///
 /// Concurrency model — single writer, many readers:
 ///  * Pages are partitioned across S shards. The writer thread calls
@@ -73,13 +77,12 @@ struct QueryBatch {
 ///
 /// Distribution guarantee: ServeTopM over S shards is distributed exactly as
 /// the first m slots of Ranker::MaterializeList over the same global page
-/// state. With the per-epoch prefix cache (default) queries splice their
-/// randomized tail onto the cached global deterministic order and draw
-/// uniformly without replacement from the cached global pool; with the cache
-/// disabled, deterministic entries are interleaved by a per-query S-way
-/// merge on the global sort key and pool draws pick a shard weighted by its
-/// remaining pool mass, then draw without replacement inside it — both are
-/// precisely the MaterializeList prefix law.
+/// state, for every policy family. With the per-epoch prefix cache (default,
+/// taken iff the policy's Capabilities() permit it) queries realize against
+/// the cached pre-merged global view; with the cache absent the policy
+/// realizes directly over the S shard views (for the promotion family: an
+/// S-way interleave on the global sort key plus shard-mass-weighted pool
+/// draws) — both are precisely the MaterializeList prefix law.
 ///
 /// Amortization layers on the read path: (1) the EpochPrefixCache makes
 /// per-query cost O(m) independent of S, (2) ServeBatch answers B queries
@@ -101,15 +104,18 @@ class ShardedRankServer {
     SnapshotHandle<ServingView> handle_;
     Rng rng_{0};
     std::vector<uint32_t> visit_batch_;
-    // Per-query merge scratch, reused across queries to avoid allocation.
-    // snaps_/det_cursor_/samplers_ serve the uncached S-way merge;
-    // pool_sampler_ is the cached path's single global-pool sampler.
-    std::vector<const RankSnapshot*> snaps_;
-    std::vector<size_t> det_cursor_;
-    std::vector<PoolPrefixSampler> samplers_;
-    PoolPrefixSampler pool_sampler_;
+    // Per-query policy scratch and borrowed shard views, reused across
+    // queries to avoid allocation.
+    PolicyScratch scratch_;
+    std::vector<ShardView> views_;
   };
 
+  /// Serves the given ranking-policy family.
+  ShardedRankServer(std::shared_ptr<const StochasticRankingPolicy> policy,
+                    size_t num_pages, ServeOptions options = {});
+
+  /// Promotion-family convenience: bit-identical (including every Rng
+  /// stream) to constructing with MakePromotionPolicy(config).
   ShardedRankServer(RankPromotionConfig config, size_t num_pages,
                     ServeOptions options = {});
 
@@ -156,19 +162,24 @@ class ShardedRankServer {
   }
   size_t n() const { return n_; }
   size_t shards() const { return shard_pages_.size(); }
-  const RankPromotionConfig& config() const { return config_; }
+  const StochasticRankingPolicy& policy() const { return *policy_; }
+  /// Promotion-family configuration; must only be called when the policy is
+  /// the promotion family.
+  const RankPromotionConfig& config() const;
+
+  /// True when the currently published epoch carries an EpochPrefixCache —
+  /// i.e. queries are taking the cached O(m) splice rather than the
+  /// per-query sharded path. False before the first Update. The observable
+  /// the capability-gating tests assert on.
+  bool PrefixCacheActive() const;
 
  private:
   /// One query against an already-pinned view; the shared core of ServeTopM
   /// and ServeBatch (so the two are bit-identical given the same Rng state).
   size_t ServeOne(Context& ctx, const ServingView& view, size_t m,
                   std::vector<uint32_t>* out) const;
-  /// The PR-1 per-query path: S-way deterministic merge + shard-mass-
-  /// weighted pool draws. Used when the epoch prefix cache is disabled.
-  size_t ServeUncached(Context& ctx, const ServingView& view, size_t m,
-                       std::vector<uint32_t>* out) const;
 
-  RankPromotionConfig config_;
+  std::shared_ptr<const StochasticRankingPolicy> policy_;
   size_t n_;
   ServeOptions opts_;
   std::vector<std::vector<uint32_t>> shard_pages_;  // page ids per shard

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace randrank {
 
@@ -29,6 +30,25 @@ uint32_t RoundStochastic(double x, Rng& rng) {
 }
 
 }  // namespace
+
+AgentSimulator::AgentSimulator(
+    const CommunityParams& params,
+    std::shared_ptr<const StochasticRankingPolicy> policy,
+    const SimOptions& options)
+    : AgentSimulator(params,
+                     [&]() -> RankPromotionConfig {
+                       if (policy == nullptr ||
+                           !policy->Capabilities().agent_sim ||
+                           policy->AsPromotion() == nullptr) {
+                         throw std::invalid_argument(
+                             "AgentSimulator supports only policies with the "
+                             "agent_sim capability (the promotion family); "
+                             "got " +
+                             (policy ? policy->Label() : "null"));
+                       }
+                       return *policy->AsPromotion();
+                     }(),
+                     options) {}
 
 AgentSimulator::AgentSimulator(const CommunityParams& params,
                                const RankPromotionConfig& config,

@@ -2,10 +2,12 @@
 #define RANDRANK_SIM_AGENT_SIM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/age_policies.h"
 #include "core/community.h"
+#include "core/policy/stochastic_ranking_policy.h"
 #include "core/rank_merge.h"
 #include "core/ranking_policy.h"
 #include "sim/sim_result.h"
@@ -98,6 +100,15 @@ class AgentSimulator {
  public:
   AgentSimulator(const CommunityParams& params,
                  const RankPromotionConfig& config,
+                 const SimOptions& options = {});
+
+  /// Policy-interface constructor. The simulator's ghost placement and
+  /// visit dynamics are promotion-family math, so a policy whose
+  /// Capabilities() lack `agent_sim` is rejected *explicitly* — this throws
+  /// std::invalid_argument naming the policy — rather than silently
+  /// simulating the wrong dynamics.
+  AgentSimulator(const CommunityParams& params,
+                 std::shared_ptr<const StochasticRankingPolicy> policy,
                  const SimOptions& options = {});
 
   /// Runs warmup + measurement and returns the aggregated result.

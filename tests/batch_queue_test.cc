@@ -152,6 +152,78 @@ TEST(BatchQueueTest, MixedTopMQueriesAreServedCorrectly) {
   EXPECT_EQ(queue.queries_served(), 300u);
 }
 
+TEST(BatchQueueTest, DeadlineDrainsLoneQueryAfterMaxDelay) {
+  const size_t n = 150;
+  Fixture fx(n, 30);
+  auto server = MakeServer(fx, n);
+  BatchQueueOptions qopts;
+  qopts.max_batch = 64;
+  qopts.max_delay_us = 2000;  // 2ms: a lone query must not wait for 63 peers
+  BatchQueue queue(*server, qopts);
+
+  std::future<std::vector<uint32_t>> f = queue.Submit(6);
+  EXPECT_EQ(f.get().size(), 6u);
+  queue.Stop();
+  const BatchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.queries_served, 1u);
+  EXPECT_GE(stats.deadline_drains, 1u);
+  EXPECT_EQ(stats.full_drains, 0u);
+}
+
+TEST(BatchQueueTest, FullBatchDrainsWithoutWaitingForDeadline) {
+  const size_t n = 150;
+  Fixture fx(n, 30);
+  auto server = MakeServer(fx, n);
+  BatchQueueOptions qopts;
+  qopts.max_batch = 4;
+  // A deadline far beyond the test timeout: if a full batch waited for it,
+  // the futures below would hang.
+  qopts.max_delay_us = 60ULL * 1000 * 1000;
+  BatchQueue queue(*server, qopts);
+
+  std::vector<std::future<std::vector<uint32_t>>> futures;
+  for (int q = 0; q < 4; ++q) futures.push_back(queue.Submit(5));
+  for (auto& f : futures) EXPECT_EQ(f.get().size(), 5u);
+  queue.Stop();  // joins the consumer, so the counters below are final
+  const BatchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.queries_served, 4u);
+  EXPECT_GE(stats.full_drains, 1u);
+  EXPECT_EQ(stats.deadline_drains, 0u);
+  // All four fit one batch, so the consumer folded them into one execution.
+  EXPECT_EQ(stats.batches_served, 1u);
+  EXPECT_EQ(stats.max_batch_served, 4u);
+  EXPECT_GE(stats.max_queue_depth, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size(), 4.0);
+}
+
+TEST(BatchQueueTest, StopOverridesPendingDeadline) {
+  const size_t n = 100;
+  Fixture fx(n, 20);
+  auto server = MakeServer(fx, n);
+  BatchQueueOptions qopts;
+  qopts.max_batch = 64;
+  qopts.max_delay_us = 60ULL * 1000 * 1000;  // would outlive the test
+  BatchQueue queue(*server, qopts);
+
+  std::vector<std::future<std::vector<uint32_t>>> futures;
+  for (int q = 0; q < 3; ++q) futures.push_back(queue.Submit(4));
+  queue.Stop();  // must serve the 3 accepted queries now, not in a minute
+  for (auto& f : futures) EXPECT_EQ(f.get().size(), 4u);
+  EXPECT_EQ(queue.stats().queries_served, 3u);
+}
+
+TEST(BatchQueueTest, GreedyModeReportsGreedyDrains) {
+  const size_t n = 100;
+  Fixture fx(n, 20);
+  auto server = MakeServer(fx, n);
+  BatchQueue queue(*server);  // max_delay_us = 0: drain whatever is pending
+  EXPECT_EQ(queue.Submit(3).get().size(), 3u);
+  queue.Stop();
+  const BatchQueueStats stats = queue.stats();
+  EXPECT_GE(stats.greedy_drains, 1u);
+  EXPECT_EQ(stats.deadline_drains + stats.full_drains, 0u);
+}
+
 TEST(BatchQueueTest, BackpressureBoundsPendingWithoutDeadlock) {
   const size_t n = 200;
   Fixture fx(n, 40);

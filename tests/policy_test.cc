@@ -1,0 +1,413 @@
+#include "core/policy/stochastic_ranking_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/community.h"
+#include "core/policy/epsilon_tail_policy.h"
+#include "core/policy/plackett_luce_policy.h"
+#include "core/policy/policy_factory.h"
+#include "core/policy/promotion_policy.h"
+#include "core/rank_merge.h"
+#include "core/ranking_policy.h"
+#include "serve/query_workload.h"
+#include "serve/sharded_rank_server.h"
+#include "sim/agent_sim.h"
+#include "sim/mean_field.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+#include "serve_fixture.h"
+
+namespace randrank {
+namespace {
+
+using testutil::Fixture;
+
+TEST(PolicyCapabilitiesTest, FamiliesDeclareTheExpectedMatrix) {
+  const auto promo = MakePromotionPolicy(RankPromotionConfig::Recommended(2));
+  EXPECT_TRUE(promo->Capabilities().lazy_prefix);
+  EXPECT_TRUE(promo->Capabilities().epoch_prefix_cache);
+  EXPECT_TRUE(promo->Capabilities().sharded_merge);
+  EXPECT_TRUE(promo->Capabilities().agent_sim);
+  EXPECT_TRUE(promo->Capabilities().mean_field);
+  ASSERT_NE(promo->AsPromotion(), nullptr);
+  EXPECT_EQ(promo->AsPromotion()->rule, PromotionRule::kSelective);
+
+  const auto pl = MakePlackettLucePolicy(0.1);
+  EXPECT_FALSE(pl->Capabilities().lazy_prefix);
+  EXPECT_FALSE(pl->Capabilities().epoch_prefix_cache);
+  EXPECT_TRUE(pl->Capabilities().sharded_merge);
+  EXPECT_FALSE(pl->Capabilities().agent_sim);
+  EXPECT_FALSE(pl->Capabilities().mean_field);
+  EXPECT_EQ(pl->AsPromotion(), nullptr);
+
+  const auto eps = MakeEpsilonTailPolicy(0.2, 5);
+  EXPECT_TRUE(eps->Capabilities().lazy_prefix);
+  EXPECT_TRUE(eps->Capabilities().epoch_prefix_cache);
+  EXPECT_TRUE(eps->Capabilities().sharded_merge);
+  EXPECT_FALSE(eps->Capabilities().agent_sim);
+  EXPECT_EQ(eps->AsPromotion(), nullptr);
+}
+
+TEST(PolicyFactoryTest, LabelsRoundTripThroughMakePolicyFromLabel) {
+  for (const auto& policy : StandardPolicyFamilies()) {
+    const auto parsed = MakePolicyFromLabel(policy->Label());
+    ASSERT_NE(parsed, nullptr) << policy->Label();
+    EXPECT_EQ(parsed->Label(), policy->Label());
+  }
+  // Parameters survive the round trip, not just the family name.
+  const auto pl = MakePolicyFromLabel("plackett-luce(T=0.33)");
+  ASSERT_NE(pl, nullptr);
+  EXPECT_EQ(pl->Label(), "plackett-luce(T=0.33)");
+  const auto eps = MakePolicyFromLabel("eps-tail(eps=0.25,k=7)");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_EQ(eps->Label(), "eps-tail(eps=0.25,k=7)");
+
+  EXPECT_EQ(MakePolicyFromLabel("thompson(alpha=1)"), nullptr);
+  EXPECT_EQ(MakePolicyFromLabel("plackett-luce(T=-1.00)"), nullptr);
+  EXPECT_EQ(MakePolicyFromLabel("plackett-luce(T=0.05)x"), nullptr);
+  EXPECT_EQ(MakePolicyFromLabel("plackett-luce(T=0.05"), nullptr);
+  EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=0.10,k=5)junk"), nullptr);
+  EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=2.00,k=5)"), nullptr);
+  EXPECT_EQ(MakePolicyFromLabel(""), nullptr);
+}
+
+TEST(PolicyFactoryTest, StandardFamiliesAreValidAndDistinct) {
+  const auto families = StandardPolicyFamilies();
+  ASSERT_EQ(families.size(), 3u);
+  std::set<std::string> labels;
+  for (const auto& policy : families) {
+    EXPECT_TRUE(policy->Valid()) << policy->Label();
+    labels.insert(policy->Label());
+  }
+  EXPECT_EQ(labels.size(), families.size());
+}
+
+// RankPromotionConfig is now a thin factory over PromotionPolicy: a Ranker
+// built either way must consume its Rng identically, so existing seeds
+// reproduce bit-for-bit.
+TEST(PromotionPolicyTest, RankerFromConfigAndFromPolicyAreBitIdentical) {
+  const size_t n = 200;
+  Fixture fx(n, 40);
+  const RankPromotionConfig config = RankPromotionConfig::Uniform(0.3, 3);
+
+  Ranker from_config(config);
+  Ranker from_policy(MakePromotionPolicy(config));
+  Rng rng_a(11);
+  Rng rng_b(11);
+  from_config.Update(fx.popularity, fx.zero, fx.birth, rng_a);
+  from_policy.Update(fx.popularity, fx.zero, fx.birth, rng_b);
+  EXPECT_EQ(from_config.deterministic_order(),
+            from_policy.deterministic_order());
+  EXPECT_EQ(from_config.pool(), from_policy.pool());
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_EQ(from_config.MaterializeList(rng_a),
+              from_policy.MaterializeList(rng_b));
+    EXPECT_EQ(from_config.TopM(17, rng_a), from_policy.TopM(17, rng_b));
+    EXPECT_EQ(from_config.PageAtRank(9, rng_a),
+              from_policy.PageAtRank(9, rng_b));
+  }
+}
+
+TEST(EpsilonTailPolicyTest, ZeroEpsilonReproducesTheDeterministicOrder) {
+  const size_t n = 120;
+  Fixture fx(n, 0);
+  Ranker ranker(MakeEpsilonTailPolicy(0.0, 5));
+  Rng rng(3);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  EXPECT_TRUE(ranker.pool().empty());
+  EXPECT_EQ(ranker.MaterializeList(rng), ranker.deterministic_order());
+  EXPECT_EQ(ranker.TopM(n, rng), ranker.deterministic_order());
+}
+
+TEST(EpsilonTailPolicyTest, ProtectedPrefixIsStableAndListIsPermutation) {
+  const size_t n = 150;
+  const size_t protect = 7;
+  Fixture fx(n, 0);
+  Ranker ranker(MakeEpsilonTailPolicy(0.8, protect));
+  Rng rng(5);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  const std::vector<uint32_t>& det = ranker.deterministic_order();
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::vector<uint32_t> list = ranker.TopM(n, rng);
+    ASSERT_EQ(list.size(), n);
+    for (size_t j = 0; j < protect; ++j) {
+      ASSERT_EQ(list[j], det[j]) << "trial " << trial << " slot " << j;
+    }
+    const std::set<uint32_t> seen(list.begin(), list.end());
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(PlackettLucePolicyTest, TemperatureInterpolatesDeterminismToUniform) {
+  const size_t n = 30;
+  const int kTrials = 4000;
+  // Evenly spaced scores: the rank-1 gap is 0.4/n, so at T = 0.002 the best
+  // page's weight beats the runner-up by e^6.7 (near-deterministic) while
+  // T = 50 flattens the whole ladder to within 0.4/50 (near-uniform).
+  std::vector<double> popularity(n);
+  std::vector<uint8_t> zero(n, 0);
+  std::vector<int64_t> birth(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    popularity[p] = 0.4 * static_cast<double>(n - p) / static_cast<double>(n);
+  }
+
+  std::map<double, double> top_rate;
+  for (const double t : {0.002, 50.0}) {
+    Ranker ranker(MakePlackettLucePolicy(t));
+    Rng rng(7);
+    ranker.Update(popularity, zero, birth, rng);
+    const uint32_t best = ranker.deterministic_order().front();
+    int wins = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      wins += ranker.TopM(1, rng).front() == best;
+    }
+    top_rate[t] = static_cast<double>(wins) / kTrials;
+  }
+  EXPECT_GT(top_rate[0.002], 0.97);
+  EXPECT_NEAR(top_rate[50.0], 1.0 / static_cast<double>(n), 0.03);
+}
+
+TEST(PlackettLucePolicyTest, FullRealizationIsAPermutation) {
+  const size_t n = 80;
+  Fixture fx(n, 10);
+  Ranker ranker(MakePlackettLucePolicy(0.2));
+  Rng rng(9);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  EXPECT_TRUE(ranker.pool().empty());  // weighted families keep no pool
+  const std::vector<uint32_t> list = ranker.MaterializeList(rng);
+  const std::set<uint32_t> seen(list.begin(), list.end());
+  EXPECT_EQ(seen.size(), n);
+}
+
+// --- Satellite: chi-squared serve-vs-materialize equivalence -------------
+
+/// Serves `trials` top-m queries through a sharded server and accumulates
+/// the categorical statistic `stat(list)`.
+template <typename Stat>
+std::vector<double> ServeCounts(
+    std::shared_ptr<const StochasticRankingPolicy> policy, const Fixture& fx,
+    size_t n, size_t shards, bool enable_cache, size_t m, int trials,
+    size_t cells, uint64_t seed, const Stat& stat) {
+  ServeOptions opts;
+  opts.shards = shards;
+  opts.seed = seed;
+  opts.enable_prefix_cache = enable_cache;
+  ShardedRankServer server(std::move(policy), n, opts);
+  server.Update(fx.popularity, fx.zero, fx.birth);
+  auto ctx = server.CreateContext();
+  std::vector<double> counts(cells, 0.0);
+  std::vector<uint32_t> out;
+  for (int t = 0; t < trials; ++t) {
+    EXPECT_EQ(server.ServeTopM(ctx, m, &out), m);
+    counts[stat(out)] += 1.0;
+  }
+  return counts;
+}
+
+/// Materializes `trials` full reference lists through the Ranker (which
+/// routes non-promotion families to MaterializeReference) and accumulates
+/// the same statistic over the top-m prefix.
+template <typename Stat>
+std::vector<double> MaterializeCounts(
+    std::shared_ptr<const StochasticRankingPolicy> policy, const Fixture& fx,
+    size_t m, int trials, size_t cells, uint64_t seed, const Stat& stat) {
+  Ranker ranker(std::move(policy));
+  Rng rng(seed);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  std::vector<double> counts(cells, 0.0);
+  std::vector<uint32_t> prefix;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<uint32_t> list = ranker.MaterializeList(rng);
+    prefix.assign(list.begin(), list.begin() + static_cast<ptrdiff_t>(m));
+    counts[stat(prefix)] += 1.0;
+  }
+  return counts;
+}
+
+void ExpectChiSquaredAgreement(std::vector<double> a, std::vector<double> b,
+                               const char* what) {
+  MergeSparseCells(&a, &b, 32.0);
+  size_t df = 0;
+  const double chi2 = TwoSampleChiSquared(a, b, &df);
+  ASSERT_GT(df, 0u) << what;
+  EXPECT_LE(chi2, ChiSquaredCritical(df, 0.001))
+      << what << ": serve distribution drifted from materialize (df=" << df
+      << ")";
+}
+
+// The acceptance property for the epsilon-tail family: the sharded serve
+// path (both cache branches) realizes exactly the law of the naive
+// materialized reference. Statistic: how many of the deterministic top-m
+// pages appear in the served top-m (a categorical in 0..m).
+TEST(PolicyEquivalenceTest, EpsilonTailServeMatchesMaterializeChiSquared) {
+  const size_t n = 90;
+  const size_t m = 10;
+  const int kTrials = 20000;
+  Fixture fx(n, 0);
+  const auto policy = MakeEpsilonTailPolicy(0.35, 3);
+
+  Ranker ranker(policy);
+  Rng rng(2);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  const std::set<uint32_t> det_top(ranker.deterministic_order().begin(),
+                                   ranker.deterministic_order().begin() + m);
+  const auto stat = [&](const std::vector<uint32_t>& prefix) {
+    size_t hits = 0;
+    for (const uint32_t page : prefix) hits += det_top.count(page);
+    return hits;
+  };
+
+  const std::vector<double> reference =
+      MaterializeCounts(policy, fx, m, kTrials, m + 1, 101, stat);
+  for (const bool cache : {true, false}) {
+    const std::vector<double> served = ServeCounts(
+        policy, fx, n, 4, cache, m, kTrials, m + 1, cache ? 102 : 103, stat);
+    ExpectChiSquaredAgreement(served, reference,
+                              cache ? "eps-tail cached" : "eps-tail uncached");
+  }
+}
+
+// Same acceptance property for Plackett-Luce. Statistic: the identity of
+// the page served at rank 1 (categorical over all n pages; sparse cells are
+// merged before the test). Serving is sharded with the cache requested but
+// unavailable (the family declines it), so this also covers the fallback.
+TEST(PolicyEquivalenceTest, PlackettLuceServeMatchesMaterializeChiSquared) {
+  const size_t n = 40;
+  const size_t m = 5;
+  const int kTrials = 20000;
+  Fixture fx(n, 6);
+  const auto policy = MakePlackettLucePolicy(0.15);
+
+  const auto stat = [](const std::vector<uint32_t>& prefix) {
+    return static_cast<size_t>(prefix.front());
+  };
+  const std::vector<double> reference =
+      MaterializeCounts(policy, fx, m, kTrials, n, 201, stat);
+  const std::vector<double> served =
+      ServeCounts(policy, fx, n, 3, true, m, kTrials, n, 202, stat);
+  ExpectChiSquaredAgreement(served, reference, "plackett-luce rank 1");
+}
+
+// Cross-check at a deeper rank so the without-replacement coupling is
+// exercised, not just the first draw.
+TEST(PolicyEquivalenceTest, PlackettLuceRankMarginalsMatchAtDepth) {
+  const size_t n = 40;
+  const size_t m = 8;
+  const int kTrials = 20000;
+  Fixture fx(n, 6);
+  const auto policy = MakePlackettLucePolicy(0.15);
+
+  const auto stat = [](const std::vector<uint32_t>& prefix) {
+    return static_cast<size_t>(prefix.back());  // page at rank m
+  };
+  const std::vector<double> reference =
+      MaterializeCounts(policy, fx, m, kTrials, n, 301, stat);
+  const std::vector<double> served =
+      ServeCounts(policy, fx, n, 3, true, m, kTrials, n, 302, stat);
+  ExpectChiSquaredAgreement(served, reference, "plackett-luce rank m");
+}
+
+// --- Acceptance: the epoch cache is used iff the capabilities allow it ---
+
+TEST(PolicyServingTest, PrefixCacheActiveIffPolicyCapabilitiesAllow) {
+  const size_t n = 120;
+  Fixture fx(n, 24);
+  struct Case {
+    std::shared_ptr<const StochasticRankingPolicy> policy;
+    bool enable;
+    bool expect_active;
+  };
+  const std::vector<Case> cases = {
+      {MakePromotionPolicy(RankPromotionConfig::Recommended(2)), true, true},
+      {MakePromotionPolicy(RankPromotionConfig::Recommended(2)), false, false},
+      {MakeEpsilonTailPolicy(0.2, 4), true, true},
+      {MakeEpsilonTailPolicy(0.2, 4), false, false},
+      // Plackett-Luce declines the cache even when the server requests it.
+      {MakePlackettLucePolicy(0.1), true, false},
+  };
+  for (const Case& c : cases) {
+    ServeOptions opts;
+    opts.shards = 4;
+    opts.enable_prefix_cache = c.enable;
+    ShardedRankServer server(c.policy, n, opts);
+    EXPECT_FALSE(server.PrefixCacheActive());  // nothing published yet
+    server.Update(fx.popularity, fx.zero, fx.birth);
+    EXPECT_EQ(server.PrefixCacheActive(), c.expect_active)
+        << c.policy->Label() << " enable=" << c.enable;
+    // Whichever branch is taken, queries are well-formed permutations.
+    auto ctx = server.CreateContext();
+    std::vector<uint32_t> out;
+    ASSERT_EQ(server.ServeTopM(ctx, n, &out), n) << c.policy->Label();
+    const std::set<uint32_t> seen(out.begin(), out.end());
+    EXPECT_EQ(seen.size(), n) << c.policy->Label();
+  }
+}
+
+TEST(PolicyServingTest, AllStandardFamiliesServeThroughBatchesAndWorkload) {
+  const size_t n = 300;
+  Fixture fx(n, 60);
+  for (const auto& policy : StandardPolicyFamilies()) {
+    ServeOptions opts;
+    opts.shards = 4;
+    ShardedRankServer server(policy, n, opts);
+    server.Update(fx.popularity, fx.zero, fx.birth);
+
+    auto ctx = server.CreateContext();
+    QueryBatch batch(12, 8);
+    EXPECT_EQ(server.ServeBatch(ctx, &batch), 8u * 12u) << policy->Label();
+    for (const auto& result : batch.results) {
+      EXPECT_EQ(result.size(), 12u) << policy->Label();
+    }
+
+    WorkloadOptions wl;
+    wl.threads = 2;
+    wl.queries_per_thread = 200;
+    wl.top_m = 10;
+    wl.seed = 21;
+    const WorkloadResult res = RunQueryWorkload(server, wl);
+    EXPECT_EQ(res.queries, 400u) << policy->Label();
+    EXPECT_EQ(res.visits, 400u) << policy->Label();
+  }
+}
+
+// --- Explicit rejection by the simulation layers -------------------------
+
+TEST(PolicySimRejectionTest, AgentSimulatorRejectsNonPromotionFamilies) {
+  const CommunityParams params = CommunityParams::Default();
+  EXPECT_THROW(AgentSimulator(params, MakePlackettLucePolicy(0.1)),
+               std::invalid_argument);
+  EXPECT_THROW(AgentSimulator(params, MakeEpsilonTailPolicy(0.1, 5)),
+               std::invalid_argument);
+  // The promotion family passes through the same constructor.
+  SimOptions sim_opts;
+  sim_opts.warmup_days = 1;
+  sim_opts.measure_days = 1;
+  sim_opts.ghost_count = 0;
+  AgentSimulator sim(params,
+                     MakePromotionPolicy(RankPromotionConfig::Recommended(1)),
+                     sim_opts);
+  sim.StepDay(false);
+  EXPECT_EQ(sim.day(), 1u);
+}
+
+TEST(PolicySimRejectionTest, MeanFieldModelRejectsNonPromotionFamilies) {
+  const CommunityParams params = CommunityParams::Default();
+  EXPECT_THROW(MeanFieldModel(params, MakePlackettLucePolicy(0.1)),
+               std::invalid_argument);
+  EXPECT_THROW(MeanFieldModel(params, MakeEpsilonTailPolicy(0.1, 5)),
+               std::invalid_argument);
+  MeanFieldModel model(params,
+                       MakePromotionPolicy(RankPromotionConfig::None()));
+  (void)model;
+}
+
+}  // namespace
+}  // namespace randrank

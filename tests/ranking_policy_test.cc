@@ -66,5 +66,38 @@ TEST(RankPromotionConfigTest, Labels) {
             "uniform(r=0.25,k=1)");
 }
 
+TEST(RankPromotionConfigTest, ParseLabelRoundTripsEveryRule) {
+  const RankPromotionConfig cases[] = {
+      RankPromotionConfig::None(),
+      RankPromotionConfig::Uniform(0.25, 1),
+      RankPromotionConfig::Selective(0.1, 2),
+      RankPromotionConfig::Recommended(2),
+      RankPromotionConfig::FixedPosition(21),
+  };
+  for (const RankPromotionConfig& original : cases) {
+    RankPromotionConfig parsed;
+    ASSERT_TRUE(RankPromotionConfig::ParseLabel(original.Label(), &parsed))
+        << original.Label();
+    EXPECT_EQ(parsed.rule, original.rule) << original.Label();
+    EXPECT_DOUBLE_EQ(parsed.r, original.r) << original.Label();
+    EXPECT_EQ(parsed.k, original.k) << original.Label();
+    // And the round trip is a fixed point of Label itself.
+    EXPECT_EQ(parsed.Label(), original.Label());
+  }
+}
+
+TEST(RankPromotionConfigTest, ParseLabelRejectsMalformedStrings) {
+  RankPromotionConfig out = RankPromotionConfig::Selective(0.5, 3);
+  const RankPromotionConfig untouched = out;
+  for (const char* bad :
+       {"", "nonsense", "selective", "selective(r=0.10)",
+        "selective(r=0.10,k=2)x", "uniform(r=1.50,k=1)", "uniform(r=0.10,k=0)",
+        "plackett-luce(T=0.25)"}) {
+    EXPECT_FALSE(RankPromotionConfig::ParseLabel(bad, &out)) << bad;
+    EXPECT_EQ(out.rule, untouched.rule) << bad;  // failure leaves out alone
+    EXPECT_EQ(out.k, untouched.k) << bad;
+  }
+}
+
 }  // namespace
 }  // namespace randrank

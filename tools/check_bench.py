@@ -9,7 +9,12 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
   * QPS regression beyond the tolerance on any baseline bench,
   * statistical drift between the cached and uncached serve paths
     (the serve/equivalence record: chi2 must stay under its critical
-    value and the deterministic-order check must be exact).
+    value and the deterministic-order check must be exact),
+  * a policy family missing from the serve/policy: sweep (the baseline's
+    policy_families list records which ranking families the run must
+    cover; bench names embed the policy label, e.g.
+    "serve/policy:plackett-luce(T=0.05)", so points are keyed by the
+    exact policy string and parse back via MakePolicyFromLabel).
 
 Absolute QPS varies across runner hardware, so baseline values are
 recorded deliberately low (see --headroom at --update time) and the gate
@@ -48,6 +53,20 @@ def load_jsonl(path):
                 continue
             records[name] = record
     return records, errors
+
+
+def policy_family(bench_name):
+    """Family slug of a serve/policy: bench name, or None for other benches.
+
+    The suffix after "serve/policy:" is the exact policy label
+    ("selective(r=0.10,k=2)", "plackett-luce(T=0.05)", ...); the family is
+    the label up to its parameter list.
+    """
+    prefix = "serve/policy:"
+    if not bench_name.startswith(prefix):
+        return None
+    label = bench_name[len(prefix):]
+    return label.split("(", 1)[0]
 
 
 def check(records, baseline, tolerance):
@@ -97,6 +116,20 @@ def check(records, baseline, tolerance):
             failures.append(
                 f"batched+cached speedup {speedup:.2f}x fell below "
                 f"{min_speedup:.1f}x over the per-query uncached path"
+            )
+
+    # Policy-sweep coverage: every ranking family the baseline records must
+    # still emit at least one serve/policy: point (a family silently dropped
+    # from the sweep is a gate failure, like a shrunk sweep).
+    covered = {policy_family(name) for name in records} - {None}
+    for family in baseline.get("policy_families", []):
+        ok = family in covered
+        rows.append((f"policy family {family}", None, None, None,
+                     "ok" if ok else "MISSING"))
+        if not ok:
+            failures.append(
+                f"policy family {family}: no serve/policy:{family}(...) "
+                "record in the run"
             )
 
     equiv = records.get("serve/equivalence")
@@ -161,11 +194,15 @@ def update_baseline(records, path, tolerance, headroom):
             "Absolute QPS depends on runner hardware — record the baseline "
             "on (or conservatively below) the hardware the gate runs on, "
             "from the min of several runs: tools/check_bench.py r1.jsonl "
-            "r2.jsonl r3.jsonl --update. The min_speedup_vs_percall and "
-            "distribution-drift checks are hardware-independent."
+            "r2.jsonl r3.jsonl --update. The min_speedup_vs_percall, "
+            "distribution-drift, and policy_families coverage checks are "
+            "hardware-independent."
         ),
         "tolerance": tolerance if tolerance is not None else 0.30,
         "min_speedup_vs_percall": 2.0,
+        "policy_families": sorted(
+            {policy_family(name) for name in records} - {None}
+        ),
         "qps": qps,
     }
     with open(path, "w", encoding="utf-8") as fh:
