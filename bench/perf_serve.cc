@@ -1,8 +1,10 @@
 // Serving-throughput benchmark for the sharded query engine: closed-loop
 // QPS and latency percentiles of fresh-realization top-m queries on a
 // 100k-page corpus, swept over worker threads, shard counts, the degree of
-// randomization r, ServeBatch batch sizes, and the per-epoch prefix cache
-// (on/off ablation), plus one async BatchQueue point.
+// randomization r, ServeBatch batch sizes, the per-epoch prefix cache
+// (on/off ablation), the policy families, and the Plackett-Luce alias-table
+// epoch state (serve/pl_alias:{on,off} plus a 2x-corpus pl_largen point),
+// plus one async BatchQueue point.
 //
 // Output: the standard counter-benchmark table, a paper-style series table,
 // and one JSON line per data point (for the per-commit perf trajectory; see
@@ -27,6 +29,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/policy/plackett_luce_policy.h"
 #include "core/policy/policy_factory.h"
 #include "core/policy/promotion_policy.h"
 #include "core/policy/stochastic_ranking_policy.h"
@@ -74,6 +77,10 @@ struct PointConfig {
   size_t batch = 1;
   bool cache = true;
   bool async = false;
+  /// Corpus size this point ran against; 0 means the shared default corpus
+  /// (kPages). Points on a different corpus (serve/pl_largen) set it so
+  /// their JSONL `pages` field stays honest.
+  size_t pages = 0;
   /// When set, serve this policy instead of the r-derived promotion config
   /// (the policy-family sweep).
   std::shared_ptr<const StochasticRankingPolicy> policy;
@@ -215,7 +222,7 @@ int main(int argc, char** argv) {
         {"batch", static_cast<double>(p.batch)},
         {"cache", p.cache ? 1.0 : 0.0},
         {"async", p.async ? 1.0 : 0.0},
-        {"pages", static_cast<double>(kPages)},
+        {"pages", static_cast<double>(p.pages > 0 ? p.pages : kPages)},
         {"qps", res.qps},
         {"p50_us", res.p50_latency_us},
         {"p99_us", res.p99_latency_us},
@@ -316,21 +323,72 @@ int main(int argc, char** argv) {
 
   // Policy-family sweep: one point per shipped ranking family, keyed by the
   // policy's label (MakePolicyFromLabel inverts it, so tools can map a
-  // bench name back to the exact policy). Families without the O(m) lazy
-  // prefix pay O(n) per query by design; they run a reduced quota so the
-  // sweep stays bounded, and their QPS rows are honest about the cost.
+  // bench name back to the exact policy). A family serves at full quota
+  // when some path gives it O(m)-per-query prefixes — the lazy merge, or
+  // per-epoch state behind the cache (Plackett-Luce's alias table);
+  // otherwise it pays O(n) per query by design and runs a reduced quota so
+  // the sweep stays bounded, its QPS rows honest about the cost.
+  const auto policy_quota = [&](const StochasticRankingPolicy& policy,
+                                bool cache) {
+    const PolicyCapabilities caps = policy.Capabilities();
+    return caps.lazy_prefix || (cache && caps.epoch_state)
+               ? kQueriesPerThread
+               : std::max<size_t>(200, kQueriesPerThread / 20);
+  };
   for (const auto& policy : StandardPolicyFamilies()) {
     PointConfig p;
     p.top_m = 20;
     p.policy = policy;
-    p.cache = policy->Capabilities().epoch_prefix_cache;
-    p.queries_per_thread = policy->Capabilities().lazy_prefix
-                               ? kQueriesPerThread
-                               : std::max<size_t>(200, kQueriesPerThread / 20);
+    p.cache = policy->Capabilities().epoch_state;
+    p.queries_per_thread = policy_quota(*policy, p.cache);
     const WorkloadResult res = MeasurePoint(corpus, p);
     emit("serve/policy:" + policy->Label(), p, res,
          {{"lazy_prefix", policy->Capabilities().lazy_prefix ? 1.0 : 0.0}},
          "policy", policy->Label());
+  }
+
+  // Plackett-Luce alias-table ablation at m=20, S=8 on the full corpus
+  // (n=100k in the full run): `off` disables the epoch cache, so every
+  // query pays the O(n) Gumbel-max draw (the PR-3 path); `on` serves
+  // through the per-epoch alias table — O(m) expected draws per query.
+  // The acceptance criterion is >= 3x QPS on this pair, recorded as
+  // `speedup_vs_gumbel` and gated hardware-independently by
+  // tools/check_bench.py (alias_ablation coverage).
+  {
+    const auto pl = MakePlackettLucePolicy(0.05);
+    double qps_gumbel = 0.0;
+    for (const bool alias_on : {false, true}) {
+      PointConfig p;
+      p.top_m = 20;
+      p.policy = pl;
+      p.cache = alias_on;
+      p.queries_per_thread = policy_quota(*pl, alias_on);
+      const WorkloadResult res = MeasurePoint(corpus, p);
+      if (!alias_on) qps_gumbel = res.qps;
+      const double speedup = qps_gumbel > 0.0 ? res.qps / qps_gumbel : 0.0;
+      emit(std::string("serve/pl_alias:") + (alias_on ? "on" : "off"), p, res,
+           {{"speedup_vs_gumbel", speedup}}, "pl_alias",
+           alias_on ? "x" + FormatFixed(speedup, 2) + " vs gumbel"
+                    : "O(n) gumbel");
+    }
+  }
+
+  // Large-n Plackett-Luce point: double the corpus. With the alias table
+  // the per-query cost is O(m), so QPS should hold roughly flat in n while
+  // the per-epoch build (merge + alias construction) absorbs the growth.
+  {
+    const size_t kLargePages = 2 * kPages;
+    const Corpus large = MakeCorpus(kLargePages, 0.1, 43);
+    const auto pl = MakePlackettLucePolicy(0.05);
+    PointConfig p;
+    p.top_m = 20;
+    p.policy = pl;
+    p.cache = true;
+    p.pages = kLargePages;
+    p.queries_per_thread = policy_quota(*pl, true);
+    const WorkloadResult res = MeasurePoint(large, p);
+    emit("serve/pl_largen:" + pl->Label(), p, res, {}, "pl_largen",
+         "n=" + std::to_string(kLargePages));
   }
 
   // Cached-vs-uncached distribution equivalence, shipped with every perf

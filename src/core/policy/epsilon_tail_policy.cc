@@ -6,6 +6,16 @@
 
 namespace randrank {
 
+namespace {
+
+/// Per-epoch state: the merged order's protected head, ready to memcpy.
+class EpsilonTailEpochState final : public PolicyEpochState {
+ public:
+  std::vector<uint32_t> head;
+};
+
+}  // namespace
+
 std::string EpsilonTailPolicy::Label() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "eps-tail(eps=%.2f,k=%zu)", epsilon_,
@@ -13,10 +23,41 @@ std::string EpsilonTailPolicy::Label() const {
   return buf;
 }
 
+bool EpsilonTailPolicy::ParseLabel(const std::string& label, double* epsilon,
+                                   size_t* protect) {
+  double eps = 0.0;
+  size_t k = 0;
+  int consumed = 0;
+  if (std::sscanf(label.c_str(), "eps-tail(eps=%lf,k=%zu)%n", &eps, &k,
+                  &consumed) != 2 ||
+      static_cast<size_t>(consumed) != label.size()) {
+    return false;
+  }
+  *epsilon = eps;
+  *protect = k;
+  return true;
+}
+
+std::shared_ptr<const PolicyEpochState> EpsilonTailPolicy::BuildEpochState(
+    const ShardView& global) const {
+  const size_t head_size = std::min(protect_, global.det_size);
+  if (head_size == 0) return nullptr;
+  auto state = std::make_shared<EpsilonTailEpochState>();
+  state->head.assign(global.det, global.det + head_size);
+  return state;
+}
+
 size_t EpsilonTailPolicy::ServePrefix(const ShardView* views, size_t num_views,
+                                      const PolicyEpochState* epoch_state,
                                       PolicyScratch& scratch, size_t m,
                                       Rng& rng,
                                       std::vector<uint32_t>* out) const {
+  if (epoch_state != nullptr) {
+    assert(num_views == 1 &&
+           "epoch state is built over the single pre-merged global view");
+    const auto* state = static_cast<const EpsilonTailEpochState*>(epoch_state);
+    return ServeCachedHead(views[0], state->head, scratch, m, rng, out);
+  }
   scratch.cursors.resize(num_views);
   size_t total = 0;
   for (size_t v = 0; v < num_views; ++v) {
@@ -77,6 +118,53 @@ size_t EpsilonTailPolicy::ServePrefix(const ShardView* views, size_t num_views,
   while (appended < count) {
     const bool explore = det_remaining > 0 && rng.NextBernoulli(epsilon_);
     out->push_back(explore ? next_uniform() : next_best());
+    ++appended;
+  }
+  return count;
+}
+
+size_t EpsilonTailPolicy::ServeCachedHead(const ShardView& view,
+                                          const std::vector<uint32_t>& head,
+                                          PolicyScratch& scratch, size_t m,
+                                          Rng& rng,
+                                          std::vector<uint32_t>* out) const {
+  const size_t n = view.det_size;
+  const size_t count = std::min(m, n);
+
+  // Deterministic head: one bulk copy from the per-epoch cache, no Rng, no
+  // cursor machinery. The head is a prefix of `view.det`, so the cursor
+  // below starts right after it.
+  const size_t head_count = std::min(head.size(), count);
+  out->insert(out->end(), head.begin(),
+              head.begin() + static_cast<ptrdiff_t>(head_count));
+
+  // Tail: identical Rng law (and draw sequence) as the generic multi-view
+  // path, specialized to one view — the cursor walk replaces BestViewHead.
+  scratch.emitted.clear();
+  size_t cursor = head_count;
+  auto skip_emitted = [&]() {
+    while (cursor < n && scratch.emitted.erase(view.det[cursor]) > 0) ++cursor;
+  };
+  size_t appended = head_count;
+  while (appended < count) {
+    const size_t remaining = n - appended;
+    if (remaining > 0 && rng.NextBernoulli(epsilon_)) {
+      // Uniform over the unserved span [cursor, n), rejecting pages the
+      // uniform branch already emitted (a subset of the span).
+      for (;;) {
+        const size_t span = n - cursor;
+        const size_t t = static_cast<size_t>(rng.NextIndex(span));
+        const uint32_t page = view.det[cursor + t];
+        if (scratch.emitted.insert(page).second) {
+          out->push_back(page);
+          break;
+        }
+      }
+    } else {
+      skip_emitted();
+      assert(cursor < n);
+      out->push_back(view.det[cursor++]);
+    }
     ++appended;
   }
   return count;

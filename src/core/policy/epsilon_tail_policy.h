@@ -31,7 +31,7 @@ class EpsilonTailPolicy final : public StochasticRankingPolicy {
   std::string Label() const override;
   PolicyCapabilities Capabilities() const override {
     return {.lazy_prefix = true,
-            .epoch_prefix_cache = true,
+            .epoch_state = true,
             .sharded_merge = true,
             .agent_sim = false,
             .mean_field = false};
@@ -49,17 +49,38 @@ class EpsilonTailPolicy final : public StochasticRankingPolicy {
   }
   size_t ProtectedPrefix() const override { return protect_; }
 
+  /// Per-epoch state: the deterministic top-min(protect, n) head, copied
+  /// out of the merged order so the protected prefix of every query is one
+  /// memcpy; the tail index is the merged order itself (already sorted in
+  /// the view), so only the epsilon-explored slots draw randomness.
+  std::shared_ptr<const PolicyEpochState> BuildEpochState(
+      const ShardView& global) const override;
+
   size_t ServePrefix(const ShardView* views, size_t num_views,
+                     const PolicyEpochState* epoch_state,
                      PolicyScratch& scratch, size_t m, Rng& rng,
                      std::vector<uint32_t>* out) const override;
 
   std::vector<uint32_t> MaterializeReference(const ShardView& global,
                                              Rng& rng) const override;
 
+  /// Inverse of Label(): parses "eps-tail(eps=F,k=N)" into the out params
+  /// and returns true; false (leaving them untouched) on any other string.
+  /// Syntactic only — the caller range-checks via Valid().
+  static bool ParseLabel(const std::string& label, double* epsilon,
+                         size_t* protect);
+
   double epsilon() const { return epsilon_; }
   size_t protect() const { return protect_; }
 
  private:
+  /// Single-view fast path against the cached head (same Rng law as the
+  /// generic path — the head slots draw no randomness either way).
+  size_t ServeCachedHead(const ShardView& view,
+                         const std::vector<uint32_t>& head,
+                         PolicyScratch& scratch, size_t m, Rng& rng,
+                         std::vector<uint32_t>* out) const;
+
   double epsilon_;
   size_t protect_;
 };

@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/policy/stochastic_ranking_policy.h"
+#include "util/alias_table.h"
 
 namespace randrank {
 
@@ -15,13 +17,24 @@ namespace randrank {
 /// smooth counterpart of the paper's coin-flip merge, after the stochastic
 /// rankers of Ganguly's risk-analysis framework.
 ///
-/// Realization uses the Gumbel-max trick: a fresh realization is the pages
-/// sorted by (score/T + Gumbel noise) descending, which equals sequential
-/// softmax sampling without replacement exactly. That costs O(n) per query
-/// (every page draws a key), so this family declares neither the O(m) lazy
-/// prefix nor the epoch prefix cache: `ShardedRankServer` serves it through
-/// the per-query path — which needs no cross-shard merge at all, because
-/// per-page keys are order-independent.
+/// Serving paths, fastest first:
+///
+///  * **Alias path** (single global view + epoch state): BuildEpochState
+///    precomputes a Walker/Vose alias table over exp(score/T) once per
+///    epoch; each slot draws from the unconditional softmax in O(1) and
+///    rejects pages already served — which is exactly sequential softmax
+///    sampling without replacement, so top-m draws cost O(m) expected for
+///    m << n. A per-slot re-draw bound (O(log n) attempts) catches the
+///    degenerate regimes (tiny T, m -> n) where the served mass dominates;
+///    past it the query falls back to Gumbel-max over the not-yet-served
+///    pages, keeping the worst case at the old O(n log n) instead of an
+///    unbounded rejection loop. This is why the family now declares the
+///    `epoch_state` capability and rides the snapshot-pinned cached path.
+///  * **Gumbel-max path** (shard views, or no epoch state): one perturbed
+///    key per page, top-m keys descending — O(n) per query, kept as the
+///    stateless reference fast path and the `serve/pl_alias:off` ablation.
+///    Per-page keys are order-independent, so shard views need no
+///    interleaving.
 class PlackettLucePolicy final : public StochasticRankingPolicy {
  public:
   explicit PlackettLucePolicy(double temperature)
@@ -30,7 +43,7 @@ class PlackettLucePolicy final : public StochasticRankingPolicy {
   std::string Label() const override;
   PolicyCapabilities Capabilities() const override {
     return {.lazy_prefix = false,
-            .epoch_prefix_cache = false,
+            .epoch_state = true,
             .sharded_merge = true,
             .agent_sim = false,
             .mean_field = false};
@@ -45,16 +58,36 @@ class PlackettLucePolicy final : public StochasticRankingPolicy {
     return false;
   }
 
+  /// Per-epoch alias table over exp(score/T) across the global view.
+  std::shared_ptr<const PolicyEpochState> BuildEpochState(
+      const ShardView& global) const override;
+
   size_t ServePrefix(const ShardView* views, size_t num_views,
+                     const PolicyEpochState* epoch_state,
                      PolicyScratch& scratch, size_t m, Rng& rng,
                      std::vector<uint32_t>* out) const override;
 
   std::vector<uint32_t> MaterializeReference(const ShardView& global,
                                              Rng& rng) const override;
 
+  /// Inverse of Label(): parses "plackett-luce(T=F)" into `*temperature`
+  /// and returns true; false (leaving it untouched) on any other string.
+  /// Syntactic only — the caller range-checks via Valid(), so factories can
+  /// distinguish "unknown family" from "known family, bad parameters".
+  static bool ParseLabel(const std::string& label, double* temperature);
+
   double temperature() const { return temperature_; }
 
  private:
+  /// The O(m)-expected alias path (see class comment).
+  size_t ServeAlias(const ShardView& view, const AliasTable& table,
+                    PolicyScratch& scratch, size_t m, Rng& rng,
+                    std::vector<uint32_t>* out) const;
+  /// The O(n) Gumbel-max path over the shard views.
+  size_t ServeGumbel(const ShardView* views, size_t num_views,
+                     PolicyScratch& scratch, size_t m, Rng& rng,
+                     std::vector<uint32_t>* out) const;
+
   double temperature_;
 };
 

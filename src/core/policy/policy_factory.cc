@@ -9,31 +9,74 @@
 
 namespace randrank {
 
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string JoinPrefixes() {
+  std::string joined;
+  for (const std::string& prefix : KnownPolicyFamilyPrefixes()) {
+    if (!joined.empty()) joined += ", ";
+    joined += prefix;
+  }
+  return joined;
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownPolicyFamilyPrefixes() {
+  static const std::vector<std::string> kPrefixes = {
+      "none",
+      "uniform(r=...,k=...)",
+      "selective(r=...,k=...)",
+      "plackett-luce(T=...)",
+      "eps-tail(eps=...,k=...)",
+  };
+  return kPrefixes;
+}
+
 std::shared_ptr<const StochasticRankingPolicy> MakePolicyFromLabel(
-    const std::string& label) {
+    const std::string& label, std::string* error) {
+  // Each family's ParseLabel is syntax-only and strict (trailing garbage and
+  // truncated labels are rejected, so a mangled label never silently maps to
+  // a policy whose Label() differs from the input); range checks happen here
+  // so "known family, bad parameters" gets a specific diagnostic instead of
+  // the generic unknown-family one.
   RankPromotionConfig config;
   if (RankPromotionConfig::ParseLabel(label, &config)) {
     return MakePromotionPolicy(config);
   }
-  // %n guards reject trailing garbage and truncated labels, matching
-  // ParseLabel's strictness: a mangled label must not silently map to a
-  // policy whose Label() differs from the input.
+  // RankPromotionConfig::ParseLabel folds its range check into the parse,
+  // so a promotion-shaped label that failed it would otherwise fall through
+  // to the self-contradictory unknown-family message below (which lists the
+  // promotion prefixes as known).
+  if (label.rfind("uniform(", 0) == 0 || label.rfind("selective(", 0) == 0) {
+    SetError(error, "policy label \"" + label +
+                        "\": promotion parameters malformed or out of range "
+                        "(expect r in [0, 1] and k >= 1)");
+    return nullptr;
+  }
   double temperature = 0.0;
-  int consumed = 0;
-  if (std::sscanf(label.c_str(), "plackett-luce(T=%lf)%n", &temperature,
-                  &consumed) == 1 &&
-      static_cast<size_t>(consumed) == label.size() && temperature > 0.0) {
-    return MakePlackettLucePolicy(temperature);
+  if (PlackettLucePolicy::ParseLabel(label, &temperature)) {
+    if (temperature > 0.0) return MakePlackettLucePolicy(temperature);
+    SetError(error, "policy label \"" + label +
+                        "\": plackett-luce temperature must be > 0");
+    return nullptr;
   }
   double epsilon = 0.0;
   size_t protect = 0;
-  consumed = 0;
-  if (std::sscanf(label.c_str(), "eps-tail(eps=%lf,k=%zu)%n", &epsilon,
-                  &protect, &consumed) == 2 &&
-      static_cast<size_t>(consumed) == label.size() && epsilon >= 0.0 &&
-      epsilon <= 1.0) {
-    return MakeEpsilonTailPolicy(epsilon, protect);
+  if (EpsilonTailPolicy::ParseLabel(label, &epsilon, &protect)) {
+    if (epsilon >= 0.0 && epsilon <= 1.0) {
+      return MakeEpsilonTailPolicy(epsilon, protect);
+    }
+    SetError(error, "policy label \"" + label +
+                        "\": eps-tail epsilon must be in [0, 1]");
+    return nullptr;
   }
+  SetError(error, "unknown policy label \"" + label +
+                      "\"; known families: " + JoinPrefixes());
   return nullptr;
 }
 

@@ -17,10 +17,17 @@ namespace randrank {
 ///   "eps-tail(eps=0.10,k=10)"
 ///
 /// Returns nullptr when the label names no known family or carries
-/// out-of-range parameters. Round-trips exactly for parameters
-/// representable at the labels' two-decimal precision.
+/// out-of-range parameters; in that case `*error` (when non-null) receives
+/// a one-line diagnostic echoing the offending label and, for unknown
+/// families, the known family prefixes (KnownPolicyFamilyPrefixes).
+/// Round-trips exactly for parameters representable at the labels'
+/// two-decimal precision.
 std::shared_ptr<const StochasticRankingPolicy> MakePolicyFromLabel(
-    const std::string& label);
+    const std::string& label, std::string* error = nullptr);
+
+/// The label prefixes of every family MakePolicyFromLabel understands, in
+/// stable order — the vocabulary error messages and CLIs list.
+const std::vector<std::string>& KnownPolicyFamilyPrefixes();
 
 /// One representative policy per shipped family, in stable order: the
 /// paper's recommended promotion recipe, a Plackett-Luce sampler, and an

@@ -17,8 +17,10 @@ bool PromotionPolicy::NextSlot(size_t det_remaining, size_t pool_remaining,
 }
 
 size_t PromotionPolicy::ServePrefix(const ShardView* views, size_t num_views,
+                                    const PolicyEpochState* epoch_state,
                                     PolicyScratch& scratch, size_t m, Rng& rng,
                                     std::vector<uint32_t>* out) const {
+  (void)epoch_state;  // stateless: the merged view carries everything
   if (num_views == 1) {
     // Pre-merged global view (the cached serve path and the Ranker): the
     // protected-prefix copy plus the O(m) randomized splice.

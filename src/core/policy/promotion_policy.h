@@ -24,7 +24,7 @@ class PromotionPolicy final : public StochasticRankingPolicy {
   std::string Label() const override { return config_.Label(); }
   PolicyCapabilities Capabilities() const override {
     return {.lazy_prefix = true,
-            .epoch_prefix_cache = true,
+            .epoch_state = true,
             .sharded_merge = true,
             .agent_sim = true,
             .mean_field = true};
@@ -36,7 +36,13 @@ class PromotionPolicy final : public StochasticRankingPolicy {
   bool NextSlot(size_t det_remaining, size_t pool_remaining,
                 Rng& rng) const override;
 
+  // BuildEpochState keeps the default null: the promotion family's
+  // epoch-invariant state is exactly the pre-merged global view the serve
+  // layer already owns (protected prefix + global pool) — MergePrefixCached
+  // needs nothing beyond it.
+
   size_t ServePrefix(const ShardView* views, size_t num_views,
+                     const PolicyEpochState* epoch_state,
                      PolicyScratch& scratch, size_t m, Rng& rng,
                      std::vector<uint32_t>* out) const override;
 

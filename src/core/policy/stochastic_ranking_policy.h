@@ -20,9 +20,10 @@ namespace randrank {
 /// knowledge. The serving, simulation, and model layers consult this
 /// descriptor instead of switching on a concrete type:
 ///
-///  * `ShardedRankServer` builds the per-epoch `EpochPrefixCache` only when
-///    `epoch_prefix_cache` is set and otherwise serves every query through
-///    the per-query sharded path;
+///  * `ShardedRankServer` materializes the per-epoch pre-merged global view
+///    (and the policy's `BuildEpochState` product) only when `epoch_state`
+///    is set and otherwise serves every query through the per-query sharded
+///    path;
 ///  * `Ranker::PageAtRank` uses the O(rank) lazy cascade only under
 ///    `lazy_prefix` and falls back to a prefix realization otherwise;
 ///  * `AgentSimulator` / `MeanFieldModel` reject families whose
@@ -32,10 +33,13 @@ struct PolicyCapabilities {
   /// Prefix realizations cost O(m) expected time (and rank resolutions
   /// O(rank)) — the property behind MergePrefix/ResolveRankLazy.
   bool lazy_prefix = false;
-  /// Everything invariant across queries within one epoch (global
-  /// deterministic order + pool) may be materialized once per epoch and
-  /// reused: the policy's per-query randomness touches only the tail.
-  bool epoch_prefix_cache = false;
+  /// Everything invariant across queries within one epoch — the pre-merged
+  /// global deterministic order + pool, and whatever `BuildEpochState`
+  /// derives from them (the promotion family's protected-prefix splice
+  /// state, Plackett-Luce's alias table, epsilon-tail's cached head) — may
+  /// be materialized once per epoch and reused by every query. Generalizes
+  /// the old promotion-only `epoch_prefix_cache` bit.
+  bool epoch_state = false;
   /// A multi-shard realization reproduces the unsharded law exactly.
   bool sharded_merge = false;
   /// The agent simulator's ghost placement and visit dynamics apply.
@@ -61,6 +65,20 @@ struct ShardView {
   size_t pool_size = 0;
 
   size_t n() const { return det_size + pool_size; }
+};
+
+/// Opaque, policy-owned state derived once per epoch from the pre-merged
+/// global view and handed back to `ServePrefix` on every query of that
+/// epoch. Each family subclasses this with whatever it can precompute —
+/// Plackett-Luce's Walker/Vose alias table over exp(score/T), epsilon-tail's
+/// cached deterministic head — instead of the serve layer growing a new
+/// bespoke cache per family. Instances must be self-contained (no borrowed
+/// pointers into the view they were built from) and immutable after
+/// construction, so one instance is shared lock-free by all serving threads
+/// and reclaimed with the epoch that built it.
+class PolicyEpochState {
+ public:
+  virtual ~PolicyEpochState() = default;
 };
 
 /// Reusable per-caller scratch for ServePrefix: samplers, cursors, and
@@ -91,9 +109,10 @@ struct PolicyScratch {
 ///
 /// Contract: `ServePrefix` over several ShardViews that together partition
 /// the corpus must realize exactly the same distribution as over the single
-/// pre-merged global view (the serve layer switches between the two freely,
-/// per `Capabilities().epoch_prefix_cache`). Every realization drawn with
-/// the same policy over the same state is independent given `rng`.
+/// pre-merged global view, with or without the epoch state (the serve layer
+/// switches between the paths freely, per `Capabilities().epoch_state`).
+/// Every realization drawn with the same policy over the same state is
+/// independent given `rng`.
 class StochasticRankingPolicy {
  public:
   virtual ~StochasticRankingPolicy() = default;
@@ -133,13 +152,32 @@ class StochasticRankingPolicy {
     return pool_remaining > 0 && det_remaining == 0;
   }
 
+  /// Derives this family's per-epoch serving state from the pre-merged
+  /// global view, or returns null when the family keeps none (the default —
+  /// correct for families whose epoch-invariant state is exactly the merged
+  /// view itself, like the promotion splice). Called once per
+  /// Ranker::Update / RankSnapshot::Build / epoch publish, never on the
+  /// query path, and must not draw randomness (epoch state is a
+  /// deterministic function of the ranking state). The returned object obeys
+  /// the PolicyEpochState contract: self-contained and immutable.
+  virtual std::shared_ptr<const PolicyEpochState> BuildEpochState(
+      const ShardView& global) const {
+    (void)global;
+    return nullptr;
+  }
+
   /// Appends the first min(m, n) slots of a fresh realization over the
   /// given shard views — which together hold the complete corpus — and
   /// returns how many were appended. A single view is the pre-merged global
   /// state (the cached serve path and the Ranker); several views require
   /// the policy to interleave them per the global law (the per-query
-  /// sharded path). `scratch` is caller-owned and reused across queries.
+  /// sharded path). `epoch_state` is either null or the product of this
+  /// policy's BuildEpochState over exactly the single global view being
+  /// served (never over a different epoch's view — the owner of the view
+  /// owns its state); policies with no state ignore it. `scratch` is
+  /// caller-owned and reused across queries.
   virtual size_t ServePrefix(const ShardView* views, size_t num_views,
+                             const PolicyEpochState* epoch_state,
                              PolicyScratch& scratch, size_t m, Rng& rng,
                              std::vector<uint32_t>* out) const = 0;
 

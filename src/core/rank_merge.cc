@@ -124,6 +124,9 @@ void Ranker::Update(const std::vector<double>& popularity,
     det_score_.push_back(popularity[p]);
     det_birth_.push_back(birth_step[p]);
   }
+  // Per-epoch policy state (no Rng by contract, so promotion-family bit
+  // compatibility with pre-policy seeds is unaffected).
+  epoch_state_ = policy_->BuildEpochState(GlobalView());
 }
 
 std::vector<uint32_t> Ranker::MaterializeList(Rng& rng) const {
@@ -184,7 +187,7 @@ std::vector<uint32_t> Ranker::TopM(size_t m, Rng& rng) const {
   out.reserve(std::min(m, n()));
   const ShardView view = GlobalView();
   PolicyScratch scratch;
-  policy_->ServePrefix(&view, 1, scratch, m, rng, &out);
+  policy_->ServePrefix(&view, 1, epoch_state_.get(), scratch, m, rng, &out);
   return out;
 }
 

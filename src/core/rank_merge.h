@@ -123,7 +123,9 @@ class Ranker {
   /// page state. `popularity[p]` in [0,1]; `zero_awareness[p]` nonzero when
   /// no monitored user has visited p; `birth_step[p]` breaks popularity ties
   /// (smaller = older = ranked better). The uniform rule re-samples pool
-  /// membership on every call.
+  /// membership on every call. Also rebuilds the policy's per-epoch state
+  /// (BuildEpochState over the fresh global view — e.g. Plackett-Luce's
+  /// alias table), which TopM/PageAtRank then reuse on every realization.
   void Update(const std::vector<double>& popularity,
               const std::vector<uint8_t>& zero_awareness,
               const std::vector<int64_t>& birth_step, Rng& rng);
@@ -180,6 +182,9 @@ class Ranker {
   std::vector<double> det_score_;
   std::vector<int64_t> det_birth_;
   std::vector<uint32_t> pool_;
+  // Policy-owned per-epoch state over GlobalView(), rebuilt by Update and
+  // handed to every ServePrefix; null for stateless families.
+  std::shared_ptr<const PolicyEpochState> epoch_state_;
 };
 
 }  // namespace randrank

@@ -41,6 +41,15 @@ std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
     cache->pool.insert(cache->pool.end(), shard->pool.begin(),
                        shard->pool.end());
   }
+
+  // Policy-owned per-epoch state over the *merged* global view — distinct
+  // from the per-shard states the snapshots carry, because the cached serve
+  // path realizes over this cache's concatenated arrays. Built last so the
+  // view handed to the hook is final.
+  if (!view.shards.empty()) {
+    cache->policy_state =
+        view.shards.front()->policy->BuildEpochState(cache->AsView());
+  }
   return cache;
 }
 

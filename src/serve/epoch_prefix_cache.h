@@ -10,18 +10,22 @@
 namespace randrank {
 
 /// Per-epoch materialization of everything in a ServingView that is
-/// invariant across queries: the cross-shard deterministic merge order (and
-/// with it the protected top k-1 prefix) and the concatenated global
-/// promotion pool.
+/// invariant across queries: the cross-shard deterministic merge order, the
+/// concatenated global pool, and — via the policy's BuildEpochState hook —
+/// whatever per-epoch serving state the family derives from that merged
+/// view (Plackett-Luce's alias table, epsilon-tail's cached head; the
+/// promotion family needs nothing beyond the merged view itself).
 ///
-/// Within one snapshot epoch every query interleaves the *same* global
-/// deterministic order and draws uniformly from the *same* global pool; only
-/// the Bernoulli tail coins and the pool permutation are per-query
-/// randomness. Re-running the S-way merge per query (the PR-1 serving path)
-/// therefore redoes identical work on the hot path. This cache runs that
-/// merge once, off the serving path, when the writer publishes the epoch;
-/// per-query work collapses to MergePrefixCached — a protected-prefix copy
-/// plus an O(m) randomized splice, independent of the shard count.
+/// Within one snapshot epoch every query realizes over the *same* global
+/// deterministic order, pool, and policy state; only the per-query draws
+/// are fresh randomness. Re-running the S-way merge (and any per-epoch
+/// policy precomputation) per query therefore redoes identical work on the
+/// hot path. This cache runs all of it once, off the serving path, when the
+/// writer publishes the epoch; per-query work collapses to the policy's
+/// single-view ServePrefix against `AsView()` + `policy_state` — for the
+/// promotion family a protected-prefix copy plus an O(m) randomized splice,
+/// for Plackett-Luce O(m) expected alias draws — independent of the shard
+/// count either way.
 ///
 /// Lifecycle / invalidation: a cache is built by ShardedRankServer::Update
 /// and owned by the ServingView it describes, so it is immutable after
@@ -43,6 +47,11 @@ struct EpochPrefixCache {
   /// Global stochastic pool (all shards concatenated, unshuffled; order is
   /// irrelevant because every draw path shuffles uniformly).
   std::vector<uint32_t> pool;
+  /// The policy's opaque per-epoch state over the merged global view
+  /// (BuildEpochState product); handed back to ServePrefix on every cached
+  /// query. Null for families whose epoch-invariant state is the merged
+  /// view alone (promotion).
+  std::shared_ptr<const PolicyEpochState> policy_state;
 
   size_t n() const { return det.size() + pool.size(); }
 

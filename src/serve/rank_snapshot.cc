@@ -13,7 +13,7 @@ size_t RankSnapshot::TopM(size_t m, Rng& rng, std::vector<uint32_t>* out) const 
   if (config != nullptr) return MergePrefix(*config, det, pool, m, rng, out);
   const ShardView view = AsView();
   PolicyScratch scratch;
-  return policy->ServePrefix(&view, 1, scratch, m, rng, out);
+  return policy->ServePrefix(&view, 1, epoch_state.get(), scratch, m, rng, out);
 }
 
 uint32_t RankSnapshot::PageAtRank(size_t rank, Rng& rng) const {
@@ -29,7 +29,8 @@ std::shared_ptr<const RankSnapshot> RankSnapshot::Build(
     std::shared_ptr<const StochasticRankingPolicy> policy, uint64_t epoch,
     const std::vector<uint32_t>& pages, const std::vector<double>& popularity,
     const std::vector<uint8_t>& zero_awareness,
-    const std::vector<int64_t>& birth_step, Rng& rng) {
+    const std::vector<int64_t>& birth_step, Rng& rng,
+    bool build_epoch_state) {
   assert(policy != nullptr && policy->Valid());
   auto snap = std::make_shared<RankSnapshot>();
   snap->epoch = epoch;
@@ -52,6 +53,11 @@ std::shared_ptr<const RankSnapshot> RankSnapshot::Build(
   for (const uint32_t p : snap->det) {
     snap->det_score.push_back(popularity[p]);
     snap->det_birth.push_back(birth_step[p]);
+  }
+  // Per-epoch policy state over this shard's finished view (deterministic,
+  // so parallel shard builds stay reproducible; no Rng by contract).
+  if (build_epoch_state) {
+    snap->epoch_state = snap->policy->BuildEpochState(snap->AsView());
   }
   return snap;
 }

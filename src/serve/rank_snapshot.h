@@ -34,6 +34,12 @@ struct RankSnapshot {
   std::vector<int64_t> det_birth;
   /// Stochastic pool of this shard (unshuffled, global ids).
   std::vector<uint32_t> pool;
+  /// Policy-owned per-epoch state over this shard's own view (Build calls
+  /// the policy's BuildEpochState hook), reused by every TopM/PageAtRank
+  /// against this snapshot. Null for stateless families, and when the
+  /// builder opted out (ShardedRankServer does — see Build). The *global*
+  /// cross-shard state lives with the EpochPrefixCache, not here.
+  std::shared_ptr<const PolicyEpochState> epoch_state;
 
   size_t n() const { return det.size() + pool.size(); }
 
@@ -57,11 +63,18 @@ struct RankSnapshot {
   /// the remainder sorted by (popularity desc, birth asc, id asc). `rng` is
   /// only drawn from when the policy's PoolMembership draws (the uniform
   /// promotion rule; membership is re-sampled per build, as in Ranker).
+  /// `build_epoch_state` controls whether the per-shard BuildEpochState
+  /// product is materialized: callers that serve this snapshot directly
+  /// (TopM/PageAtRank) want it; ShardedRankServer passes false because its
+  /// queries only ever consume the EpochPrefixCache's *global* state (or
+  /// none on the per-query path), so S per-shard alias tables per epoch
+  /// would be pure waste.
   static std::shared_ptr<const RankSnapshot> Build(
       std::shared_ptr<const StochasticRankingPolicy> policy, uint64_t epoch,
       const std::vector<uint32_t>& pages, const std::vector<double>& popularity,
       const std::vector<uint8_t>& zero_awareness,
-      const std::vector<int64_t>& birth_step, Rng& rng);
+      const std::vector<int64_t>& birth_step, Rng& rng,
+      bool build_epoch_state = true);
 
   /// Promotion-family convenience, bit-identical to the policy overload
   /// with MakePromotionPolicy(config).

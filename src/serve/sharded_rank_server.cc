@@ -61,9 +61,12 @@ void ShardedRankServer::Update(const std::vector<double>& popularity,
   }
 
   auto build_shard = [&](size_t s) {
-    view->shards[s] =
-        RankSnapshot::Build(policy_, epoch, shard_pages_[s], popularity,
-                            zero_awareness, birth_step, build_rngs[s]);
+    // Per-shard epoch state is skipped: server queries consume only the
+    // EpochPrefixCache's global state (cached path) or none (per-query
+    // path), never a shard-local one.
+    view->shards[s] = RankSnapshot::Build(
+        policy_, epoch, shard_pages_[s], popularity, zero_awareness,
+        birth_step, build_rngs[s], /*build_epoch_state=*/false);
   };
   if (pool != nullptr && shard_pages_.size() > 1) {
     ParallelFor(*pool, shard_pages_.size(), build_shard);
@@ -71,12 +74,12 @@ void ShardedRankServer::Update(const std::vector<double>& popularity,
     for (size_t s = 0; s < shard_pages_.size(); ++s) build_shard(s);
   }
 
-  // The cache participates only when the policy declares support: a family
-  // whose per-query randomness is not confined to the tail (e.g.
-  // Plackett-Luce redraws every slot) gains nothing from the materialized
-  // global order, so the server falls back to the per-query path.
-  if (opts_.enable_prefix_cache &&
-      policy_->Capabilities().epoch_prefix_cache) {
+  // The cache participates only when the policy declares the epoch_state
+  // capability: the materialized global merge order plus whatever the
+  // policy's BuildEpochState derives from it (promotion's splice inputs,
+  // Plackett-Luce's alias table, epsilon-tail's cached head). Families
+  // without it fall back to the per-query sharded path.
+  if (opts_.enable_prefix_cache && policy_->Capabilities().epoch_state) {
     view->cache = EpochPrefixCache::Build(*view);
   }
 
@@ -122,19 +125,23 @@ size_t ShardedRankServer::ServeOne(Context& ctx, const ServingView& view,
                                    size_t m, std::vector<uint32_t>* out) const {
   const EpochPrefixCache* cache = view.cache.get();
   if (cache != nullptr) {
-    // Cached path: the cross-shard deterministic merge and the global pool
-    // were materialized once when this epoch was published; the policy
-    // realizes against the single pre-merged global view (for the
-    // promotion family: the protected-prefix copy plus the O(m) splice).
+    // Cached path: the cross-shard deterministic merge, the global pool,
+    // and the policy's per-epoch state were materialized once when this
+    // epoch was published; the policy realizes against the single
+    // pre-merged global view (promotion: protected-prefix copy + O(m)
+    // splice; Plackett-Luce: O(m) expected alias draws; epsilon-tail:
+    // head memcpy + explored slots only).
     const ShardView global = cache->AsView();
-    return policy_->ServePrefix(&global, 1, ctx.scratch_, m, ctx.rng_, out);
+    return policy_->ServePrefix(&global, 1, cache->policy_state.get(),
+                                ctx.scratch_, m, ctx.rng_, out);
   }
-  // Per-query path: the policy realizes directly over the shard views.
+  // Per-query path: the policy realizes directly over the shard views,
+  // with no per-epoch state.
   const size_t shards = view.shards.size();
   ctx.views_.resize(shards);
   for (size_t s = 0; s < shards; ++s) ctx.views_[s] = view.shards[s]->AsView();
-  return policy_->ServePrefix(ctx.views_.data(), shards, ctx.scratch_, m,
-                              ctx.rng_, out);
+  return policy_->ServePrefix(ctx.views_.data(), shards, nullptr, ctx.scratch_,
+                              m, ctx.rng_, out);
 }
 
 void ShardedRankServer::RecordVisit(Context& ctx, uint32_t page) {

@@ -27,12 +27,13 @@ struct ServeOptions {
   /// Base seed; each serving context gets its own non-overlapping stream.
   uint64_t seed = 0x5eedULL;
   /// Build an EpochPrefixCache per published ServingView: the cross-shard
-  /// deterministic merge runs once per epoch instead of once per query, and
-  /// the serve path becomes an O(m) splice independent of the shard count.
-  /// Off reproduces the per-query sharded path (kept for ablation; both
-  /// paths realize exactly the MaterializeList distribution). Effective only
-  /// when the policy's Capabilities() also declare epoch_prefix_cache;
-  /// otherwise every query takes the per-query path regardless.
+  /// deterministic merge (and the policy's BuildEpochState product — e.g.
+  /// Plackett-Luce's alias table) runs once per epoch instead of once per
+  /// query, and the serve path becomes O(m) work independent of the shard
+  /// count. Off reproduces the per-query sharded path (kept for ablation;
+  /// both paths realize exactly the MaterializeList distribution).
+  /// Effective only when the policy's Capabilities() also declare
+  /// epoch_state; otherwise every query takes the per-query path regardless.
   bool enable_prefix_cache = true;
 };
 

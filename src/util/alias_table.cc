@@ -1,0 +1,61 @@
+#include "util/alias_table.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace randrank {
+
+void AliasTable::Build(const double* weights, size_t n) {
+  accept_.assign(n, 1.0);
+  alias_.resize(n);
+  if (n == 0) return;
+
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    assert(std::isfinite(weights[i]) && weights[i] >= 0.0);
+    sum += weights[i];
+  }
+  assert(sum > 0.0 && "alias table needs at least one positive weight");
+
+  // Vose's stable two-stack construction over the scaled probabilities
+  // p[i] = w[i] * n / sum: columns under 1.0 take the balance from columns
+  // over 1.0 until every column holds exactly unit mass.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / sum;
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    const uint32_t l = large.back();
+    small.pop_back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    // The large column donated (1 - scaled[s]) of its mass to column s.
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers on either stack hold (numerically) unit mass: accept with
+  // probability 1 and point the alias at themselves so a stray coin above
+  // a slightly-under-1.0 acceptance still lands in range.
+  for (const uint32_t i : large) {
+    accept_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const uint32_t i : small) {
+    accept_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+}  // namespace randrank

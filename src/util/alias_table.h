@@ -1,0 +1,56 @@
+#ifndef RANDRANK_UTIL_ALIAS_TABLE_H_
+#define RANDRANK_UTIL_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace randrank {
+
+/// Walker/Vose alias table: O(1) draws from a fixed discrete distribution
+/// after O(n) construction. Each column i holds the acceptance probability
+/// of index i plus an alias index that absorbs the column's leftover mass,
+/// so a draw is one uniform column pick and one uniform coin — no search.
+///
+/// Construction is deterministic (no Rng) and the table is immutable after
+/// Build, so one table may be shared lock-free by any number of sampling
+/// threads — exactly the shape of per-epoch serving state (see
+/// PlackettLucePolicy::BuildEpochState, which builds one per publish over
+/// exp(score/T)).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table for the distribution proportional to `weights`
+  /// (finite, non-negative, at least one strictly positive entry unless
+  /// n == 0). O(n) time and memory.
+  void Build(const double* weights, size_t n);
+  void Build(const std::vector<double>& weights) {
+    Build(weights.data(), weights.size());
+  }
+
+  size_t size() const { return accept_.size(); }
+  bool empty() const { return accept_.empty(); }
+
+  /// Index in [0, size()) with probability weights[i] / sum(weights).
+  /// Consumes exactly two Rng draws. size() must be positive.
+  size_t Sample(Rng& rng) const {
+    const size_t column = static_cast<size_t>(rng.NextIndex(accept_.size()));
+    return rng.NextDouble() < accept_[column] ? column : alias_[column];
+  }
+
+  /// Acceptance probability of column i (diagnostic; 1.0 means the column
+  /// never forwards to its alias).
+  double accept(size_t i) const { return accept_[i]; }
+  uint32_t alias(size_t i) const { return alias_[i]; }
+
+ private:
+  std::vector<double> accept_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_UTIL_ALIAS_TABLE_H_

@@ -1,0 +1,123 @@
+#include "util/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace randrank {
+namespace {
+
+// Exact structural property: every column's acceptance probability is in
+// [0, 1] and every alias index is in range, for any weight vector.
+void ExpectWellFormed(const AliasTable& table) {
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_GE(table.accept(i), 0.0) << "column " << i;
+    EXPECT_LE(table.accept(i), 1.0) << "column " << i;
+    EXPECT_LT(table.alias(i), table.size()) << "column " << i;
+  }
+}
+
+std::vector<double> SampleHistogram(const AliasTable& table, int draws,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(table.size(), 0.0);
+  for (int t = 0; t < draws; ++t) counts[table.Sample(rng)] += 1.0;
+  return counts;
+}
+
+// Degenerate case: all-equal weights. Every column must keep its own mass
+// (acceptance 1 exactly, up to the construction's arithmetic on equal
+// inputs) and draws must be uniform.
+TEST(AliasTableTest, AllEqualWeightsSampleUniformly) {
+  const size_t n = 16;
+  AliasTable table;
+  table.Build(std::vector<double>(n, 3.25));
+  ASSERT_EQ(table.size(), n);
+  ExpectWellFormed(table);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(table.accept(i), 1.0) << "column " << i;
+  }
+
+  const int kDraws = 64000;
+  const std::vector<double> counts = SampleHistogram(table, kDraws, 11);
+  std::vector<double> expected(n, static_cast<double>(kDraws) / n);
+  size_t df = 0;
+  const double chi2 = TwoSampleChiSquared(counts, expected, &df);
+  EXPECT_LE(chi2, ChiSquaredCritical(df, 0.001));
+}
+
+// Degenerate case: one weight dominating by many orders of magnitude. The
+// dominant index must absorb essentially all draws, and the starved columns
+// must still alias into range (this is the regime where naive alias
+// constructions leave dangling aliases).
+TEST(AliasTableTest, OneDominantWeightAbsorbsTheMass) {
+  const size_t n = 8;
+  std::vector<double> weights(n, 1e-12);
+  weights[3] = 1.0;
+  AliasTable table;
+  table.Build(weights);
+  ExpectWellFormed(table);
+
+  const int kDraws = 20000;
+  const std::vector<double> counts = SampleHistogram(table, kDraws, 12);
+  EXPECT_GT(counts[3], 0.999 * kDraws);
+}
+
+// Degenerate case: n = 1 must always return index 0, and n = 0 must build
+// an empty (unusable but valid) table.
+TEST(AliasTableTest, SingleElementAlwaysSampled) {
+  AliasTable table;
+  table.Build(std::vector<double>{0.7});
+  ASSERT_EQ(table.size(), 1u);
+  ExpectWellFormed(table);
+  Rng rng(13);
+  for (int t = 0; t < 100; ++t) EXPECT_EQ(table.Sample(rng), 0u);
+
+  AliasTable empty;
+  empty.Build(nullptr, 0);
+  EXPECT_TRUE(empty.empty());
+}
+
+// Zero-weight entries are legal as long as one weight is positive: they
+// must never be sampled.
+TEST(AliasTableTest, ZeroWeightEntriesAreNeverSampled) {
+  AliasTable table;
+  table.Build(std::vector<double>{0.0, 2.0, 0.0, 1.0});
+  ExpectWellFormed(table);
+  Rng rng(14);
+  for (int t = 0; t < 2000; ++t) {
+    const size_t idx = table.Sample(rng);
+    EXPECT_TRUE(idx == 1 || idx == 3) << idx;
+  }
+}
+
+// General-position check against the exact distribution: chi-squared of a
+// geometric weight ladder (the softmax-over-scores shape the Plackett-Luce
+// epoch state builds).
+TEST(AliasTableTest, GeometricLadderMatchesExactProbabilities) {
+  const size_t n = 12;
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(0.7, static_cast<double>(i));
+    sum += weights[i];
+  }
+  AliasTable table;
+  table.Build(weights);
+  ExpectWellFormed(table);
+
+  const int kDraws = 120000;
+  const std::vector<double> counts = SampleHistogram(table, kDraws, 15);
+  std::vector<double> expected(n);
+  for (size_t i = 0; i < n; ++i) expected[i] = kDraws * weights[i] / sum;
+  size_t df = 0;
+  const double chi2 = TwoSampleChiSquared(counts, expected, &df);
+  EXPECT_LE(chi2, ChiSquaredCritical(df, 0.001));
+}
+
+}  // namespace
+}  // namespace randrank

@@ -33,7 +33,7 @@ using testutil::Fixture;
 TEST(PolicyCapabilitiesTest, FamiliesDeclareTheExpectedMatrix) {
   const auto promo = MakePromotionPolicy(RankPromotionConfig::Recommended(2));
   EXPECT_TRUE(promo->Capabilities().lazy_prefix);
-  EXPECT_TRUE(promo->Capabilities().epoch_prefix_cache);
+  EXPECT_TRUE(promo->Capabilities().epoch_state);
   EXPECT_TRUE(promo->Capabilities().sharded_merge);
   EXPECT_TRUE(promo->Capabilities().agent_sim);
   EXPECT_TRUE(promo->Capabilities().mean_field);
@@ -42,7 +42,9 @@ TEST(PolicyCapabilitiesTest, FamiliesDeclareTheExpectedMatrix) {
 
   const auto pl = MakePlackettLucePolicy(0.1);
   EXPECT_FALSE(pl->Capabilities().lazy_prefix);
-  EXPECT_FALSE(pl->Capabilities().epoch_prefix_cache);
+  // The per-epoch alias table flipped this on: PL now rides the cached
+  // single-view path like the promotion family.
+  EXPECT_TRUE(pl->Capabilities().epoch_state);
   EXPECT_TRUE(pl->Capabilities().sharded_merge);
   EXPECT_FALSE(pl->Capabilities().agent_sim);
   EXPECT_FALSE(pl->Capabilities().mean_field);
@@ -50,10 +52,35 @@ TEST(PolicyCapabilitiesTest, FamiliesDeclareTheExpectedMatrix) {
 
   const auto eps = MakeEpsilonTailPolicy(0.2, 5);
   EXPECT_TRUE(eps->Capabilities().lazy_prefix);
-  EXPECT_TRUE(eps->Capabilities().epoch_prefix_cache);
+  EXPECT_TRUE(eps->Capabilities().epoch_state);
   EXPECT_TRUE(eps->Capabilities().sharded_merge);
   EXPECT_FALSE(eps->Capabilities().agent_sim);
   EXPECT_EQ(eps->AsPromotion(), nullptr);
+}
+
+// Which families actually produce opaque per-epoch state (the promotion
+// family's epoch-invariant state is the merged view itself, so its hook
+// returns null and the serve layer passes nothing extra).
+TEST(PolicyCapabilitiesTest, BuildEpochStateProducesStateWhereExpected) {
+  const size_t n = 60;
+  Fixture fx(n, 0);
+  const auto build = [&](std::shared_ptr<const StochasticRankingPolicy> p) {
+    Ranker ranker(p);
+    Rng rng(17);
+    ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+    const ShardView view = {ranker.deterministic_order().data(),
+                            ranker.deterministic_scores().data(),
+                            nullptr,
+                            ranker.deterministic_order().size(),
+                            ranker.pool().data(),
+                            ranker.pool().size()};
+    return p->BuildEpochState(view);
+  };
+  EXPECT_EQ(build(MakePromotionPolicy(RankPromotionConfig::None())), nullptr);
+  EXPECT_NE(build(MakePlackettLucePolicy(0.2)), nullptr);
+  EXPECT_NE(build(MakeEpsilonTailPolicy(0.3, 4)), nullptr);
+  // A zero protected head leaves epsilon-tail stateless too.
+  EXPECT_EQ(build(MakeEpsilonTailPolicy(0.3, 0)), nullptr);
 }
 
 TEST(PolicyFactoryTest, LabelsRoundTripThroughMakePolicyFromLabel) {
@@ -77,6 +104,75 @@ TEST(PolicyFactoryTest, LabelsRoundTripThroughMakePolicyFromLabel) {
   EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=0.10,k=5)junk"), nullptr);
   EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=2.00,k=5)"), nullptr);
   EXPECT_EQ(MakePolicyFromLabel(""), nullptr);
+}
+
+// Rejections carry a diagnostic that echoes the offending label; unknown
+// families additionally list the known family vocabulary.
+TEST(PolicyFactoryTest, RejectionsEchoTheLabelAndKnownFamilies) {
+  std::string error;
+  EXPECT_EQ(MakePolicyFromLabel("thompson(alpha=1)", &error), nullptr);
+  EXPECT_NE(error.find("thompson(alpha=1)"), std::string::npos) << error;
+  for (const std::string& prefix : KnownPolicyFamilyPrefixes()) {
+    EXPECT_NE(error.find(prefix), std::string::npos)
+        << "known-family list missing \"" << prefix << "\": " << error;
+  }
+
+  // Known family, out-of-range parameter: a specific message, not the
+  // unknown-family one.
+  error.clear();
+  EXPECT_EQ(MakePolicyFromLabel("plackett-luce(T=-1.00)", &error), nullptr);
+  EXPECT_NE(error.find("plackett-luce(T=-1.00)"), std::string::npos) << error;
+  EXPECT_NE(error.find("temperature"), std::string::npos) << error;
+  error.clear();
+  EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=2.00,k=5)", &error), nullptr);
+  EXPECT_NE(error.find("eps-tail(eps=2.00,k=5)"), std::string::npos) << error;
+  EXPECT_NE(error.find("epsilon"), std::string::npos) << error;
+  // Promotion-shaped labels with bad parameters get the promotion-specific
+  // message, not the contradictory "unknown family" one.
+  error.clear();
+  EXPECT_EQ(MakePolicyFromLabel("uniform(r=2.00,k=2)", &error), nullptr);
+  EXPECT_NE(error.find("uniform(r=2.00,k=2)"), std::string::npos) << error;
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_EQ(error.find("unknown"), std::string::npos) << error;
+
+  // A successful parse leaves the error untouched.
+  error = "sentinel";
+  EXPECT_NE(MakePolicyFromLabel("plackett-luce(T=0.25)", &error), nullptr);
+  EXPECT_EQ(error, "sentinel");
+}
+
+// The PL and eps-tail families expose ParseLabel statics mirroring
+// RankPromotionConfig::ParseLabel: exact inverses of Label(), strict about
+// trailing garbage, and leaving outputs untouched on failure.
+TEST(PolicyFactoryTest, FamilyParseLabelsRoundTripAndStayStrict) {
+  for (const double t : {0.05, 0.33, 2.50}) {
+    const std::string label = PlackettLucePolicy(t).Label();
+    double parsed = -1.0;
+    ASSERT_TRUE(PlackettLucePolicy::ParseLabel(label, &parsed)) << label;
+    EXPECT_EQ(PlackettLucePolicy(parsed).Label(), label);
+  }
+  for (const auto& [eps, k] :
+       std::vector<std::pair<double, size_t>>{{0.0, 0}, {0.25, 7}, {1.0, 99}}) {
+    const std::string label = EpsilonTailPolicy(eps, k).Label();
+    double parsed_eps = -1.0;
+    size_t parsed_k = 1234;
+    ASSERT_TRUE(EpsilonTailPolicy::ParseLabel(label, &parsed_eps, &parsed_k))
+        << label;
+    EXPECT_EQ(EpsilonTailPolicy(parsed_eps, parsed_k).Label(), label);
+  }
+
+  double t = -1.0;
+  EXPECT_FALSE(PlackettLucePolicy::ParseLabel("plackett-luce(T=0.05)x", &t));
+  EXPECT_FALSE(PlackettLucePolicy::ParseLabel("plackett-luce(T=", &t));
+  EXPECT_FALSE(PlackettLucePolicy::ParseLabel("eps-tail(eps=0.10,k=5)", &t));
+  EXPECT_EQ(t, -1.0);  // untouched on failure
+  double eps = -1.0;
+  size_t k = 1234;
+  EXPECT_FALSE(
+      EpsilonTailPolicy::ParseLabel("eps-tail(eps=0.10,k=5)j", &eps, &k));
+  EXPECT_FALSE(EpsilonTailPolicy::ParseLabel("plackett-luce(T=1)", &eps, &k));
+  EXPECT_EQ(eps, -1.0);
+  EXPECT_EQ(k, 1234u);
 }
 
 TEST(PolicyFactoryTest, StandardFamiliesAreValidAndDistinct) {
@@ -275,10 +371,12 @@ TEST(PolicyEquivalenceTest, EpsilonTailServeMatchesMaterializeChiSquared) {
   }
 }
 
-// Same acceptance property for Plackett-Luce. Statistic: the identity of
-// the page served at rank 1 (categorical over all n pages; sparse cells are
-// merged before the test). Serving is sharded with the cache requested but
-// unavailable (the family declines it), so this also covers the fallback.
+// Same acceptance property for Plackett-Luce, on both cache branches:
+// cache on serves through the per-epoch alias table (rejection against the
+// served set), cache off through the per-query Gumbel-max path — both must
+// realize exactly the sequential-softmax reference law. Statistic: the
+// identity of the page served at rank 1 (categorical over all n pages;
+// sparse cells are merged before the test).
 TEST(PolicyEquivalenceTest, PlackettLuceServeMatchesMaterializeChiSquared) {
   const size_t n = 40;
   const size_t m = 5;
@@ -291,13 +389,18 @@ TEST(PolicyEquivalenceTest, PlackettLuceServeMatchesMaterializeChiSquared) {
   };
   const std::vector<double> reference =
       MaterializeCounts(policy, fx, m, kTrials, n, 201, stat);
-  const std::vector<double> served =
-      ServeCounts(policy, fx, n, 3, true, m, kTrials, n, 202, stat);
-  ExpectChiSquaredAgreement(served, reference, "plackett-luce rank 1");
+  for (const bool cache : {true, false}) {
+    const std::vector<double> served = ServeCounts(
+        policy, fx, n, 3, cache, m, kTrials, n, cache ? 202 : 203, stat);
+    ExpectChiSquaredAgreement(
+        served, reference,
+        cache ? "plackett-luce rank 1 (alias)" : "plackett-luce rank 1");
+  }
 }
 
 // Cross-check at a deeper rank so the without-replacement coupling is
-// exercised, not just the first draw.
+// exercised (the alias path's rejection against already-served pages, the
+// Gumbel path's key ordering), not just the first draw.
 TEST(PolicyEquivalenceTest, PlackettLuceRankMarginalsMatchAtDepth) {
   const size_t n = 40;
   const size_t m = 8;
@@ -310,9 +413,34 @@ TEST(PolicyEquivalenceTest, PlackettLuceRankMarginalsMatchAtDepth) {
   };
   const std::vector<double> reference =
       MaterializeCounts(policy, fx, m, kTrials, n, 301, stat);
+  for (const bool cache : {true, false}) {
+    const std::vector<double> served = ServeCounts(
+        policy, fx, n, 3, cache, m, kTrials, n, cache ? 302 : 303, stat);
+    ExpectChiSquaredAgreement(
+        served, reference,
+        cache ? "plackett-luce rank m (alias)" : "plackett-luce rank m");
+  }
+}
+
+// A temperature small enough that the softmax mass concentrates on the top
+// pages forces the alias path's rejection cap to trip mid-query (the served
+// prefix absorbs nearly all the mass), exercising the Gumbel fallback for
+// the remaining slots. The law must stay exactly the reference's.
+TEST(PolicyEquivalenceTest, PlackettLuceAliasFallbackPreservesTheLawChiSquared) {
+  const size_t n = 30;
+  const size_t m = 12;
+  const int kTrials = 20000;
+  Fixture fx(n, 0);
+  const auto policy = MakePlackettLucePolicy(0.01);  // near-deterministic
+
+  const auto stat = [](const std::vector<uint32_t>& prefix) {
+    return static_cast<size_t>(prefix.back());
+  };
+  const std::vector<double> reference =
+      MaterializeCounts(policy, fx, m, kTrials, n, 401, stat);
   const std::vector<double> served =
-      ServeCounts(policy, fx, n, 3, true, m, kTrials, n, 302, stat);
-  ExpectChiSquaredAgreement(served, reference, "plackett-luce rank m");
+      ServeCounts(policy, fx, n, 2, true, m, kTrials, n, 402, stat);
+  ExpectChiSquaredAgreement(served, reference, "plackett-luce fallback");
 }
 
 // --- Acceptance: the epoch cache is used iff the capabilities allow it ---
@@ -330,8 +458,10 @@ TEST(PolicyServingTest, PrefixCacheActiveIffPolicyCapabilitiesAllow) {
       {MakePromotionPolicy(RankPromotionConfig::Recommended(2)), false, false},
       {MakeEpsilonTailPolicy(0.2, 4), true, true},
       {MakeEpsilonTailPolicy(0.2, 4), false, false},
-      // Plackett-Luce declines the cache even when the server requests it.
-      {MakePlackettLucePolicy(0.1), true, false},
+      // Plackett-Luce's alias table made it cache-capable (PR 4); the
+      // server ablation switch still disables it.
+      {MakePlackettLucePolicy(0.1), true, true},
+      {MakePlackettLucePolicy(0.1), false, false},
   };
   for (const Case& c : cases) {
     ServeOptions opts;

@@ -14,7 +14,11 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
     policy_families list records which ranking families the run must
     cover; bench names embed the policy label, e.g.
     "serve/policy:plackett-luce(T=0.05)", so points are keyed by the
-    exact policy string and parse back via MakePolicyFromLabel).
+    exact policy string and parse back via MakePolicyFromLabel),
+  * a missing serve/pl_alias:{on,off} ablation point, or an alias-table
+    speedup under min_pl_alias_speedup (the within-run ratio of
+    alias-path Plackett-Luce QPS over the O(n) Gumbel path — hardware
+    independent, like min_speedup_vs_percall).
 
 Absolute QPS varies across runner hardware, so baseline values are
 recorded deliberately low (see --headroom at --update time) and the gate
@@ -118,6 +122,31 @@ def check(records, baseline, tolerance):
                 f"{min_speedup:.1f}x over the per-query uncached path"
             )
 
+    # Alias-table ablation coverage + hardware-independent speedup gate: the
+    # Plackett-Luce serve/pl_alias pair must be present, and the alias path
+    # must clear the configured within-run speedup over the O(n) Gumbel path
+    # (the PR-4 acceptance criterion is >= 3x; like min_speedup_vs_percall
+    # this ratio does not depend on runner hardware).
+    min_alias = baseline.get("min_pl_alias_speedup", 0.0)
+    for name in baseline.get("alias_ablation", []):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: alias-ablation record missing from run")
+            rows.append((name, None, None, None, "MISSING"))
+            continue
+        if name.endswith(":on") and min_alias > 0.0:
+            speedup = record.get("speedup_vs_gumbel", 0.0)
+            ok = speedup >= min_alias
+            rows.append((f"{name} speedup", speedup, min_alias, None,
+                         "ok" if ok else "REGRESSION"))
+            if not ok:
+                failures.append(
+                    f"pl alias speedup {speedup:.2f}x fell below "
+                    f"{min_alias:.1f}x over the per-query Gumbel path"
+                )
+        else:
+            rows.append((name, record.get("qps"), None, None, "ok"))
+
     # Policy-sweep coverage: every ranking family the baseline records must
     # still emit at least one serve/policy: point (a family silently dropped
     # from the sweep is a gate failure, like a shrunk sweep).
@@ -200,6 +229,10 @@ def update_baseline(records, path, tolerance, headroom):
         ),
         "tolerance": tolerance if tolerance is not None else 0.30,
         "min_speedup_vs_percall": 2.0,
+        "min_pl_alias_speedup": 3.0,
+        "alias_ablation": sorted(
+            name for name in records if name.startswith("serve/pl_alias:")
+        ),
         "policy_families": sorted(
             {policy_family(name) for name in records} - {None}
         ),
