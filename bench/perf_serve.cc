@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -308,7 +309,10 @@ int main(int argc, char** argv) {
   }
 
   // Async submission queue: producers pipeline windows of futures into the
-  // MPSC queue; one consumer serves ServeBatch runs.
+  // MPSC queue; one consumer serves ServeBatch runs. The queue's occupancy
+  // counters (BatchQueue::stats() via WorkloadResult::queue) ride along in
+  // the JSONL so live-experiment runs can monitor queue health — depth,
+  // realized batch size, and what triggered each drain.
   {
     PointConfig p;
     p.top_m = 20;
@@ -317,8 +321,81 @@ int main(int argc, char** argv) {
     p.queries_per_thread = kQueriesPerThread;
     const WorkloadResult res = MeasurePoint(corpus, p);
     emit("serve/async:16", p, res,
-         {{"batches", static_cast<double>(res.batches)}}, "async",
-         "MPSC queue");
+         {{"batches", static_cast<double>(res.batches)},
+          {"queue_mean_batch", res.queue.mean_batch_size()},
+          {"queue_max_batch", static_cast<double>(res.queue.max_batch_served)},
+          {"queue_max_depth", static_cast<double>(res.queue.max_queue_depth)},
+          {"queue_full_drains", static_cast<double>(res.queue.full_drains)},
+          {"queue_deadline_drains",
+           static_cast<double>(res.queue.deadline_drains)},
+          {"queue_greedy_drains",
+           static_cast<double>(res.queue.greedy_drains)}},
+         "async", "MPSC queue");
+  }
+
+  // Epoch-publish latency: one Update() = per-shard snapshot rebuild +
+  // cross-shard merge + the policy's BuildEpochState + epoch-cache build +
+  // atomic swap. This is also the unit cost of an online policy hot-swap
+  // (a swap IS a publish carrying a different policy), so the point tracks
+  // both: plain republish latency and alternating-family swap latency
+  // (selective <-> Plackett-Luce, whose swap rebuilds the alias table).
+  // `qps` is publishes per second so the regression gate applies as-is.
+  {
+    const size_t kPublishes = smoke ? 16 : 40;
+    ServeOptions opts;
+    opts.shards = 8;
+    opts.seed = 0x9ab5ULL;
+    const auto selective =
+        MakePromotionPolicy(RankPromotionConfig::Selective(0.1, 2));
+    const auto pl = MakePlackettLucePolicy(0.05);
+    ShardedRankServer server(selective, corpus.popularity.size(), opts);
+    const auto publish =
+        [&](std::shared_ptr<const StochasticRankingPolicy> policy,
+            std::vector<double>* lat_us) {
+          const auto t0 = std::chrono::steady_clock::now();
+          server.Update(corpus.popularity, corpus.zero, corpus.birth,
+                        std::move(policy));
+          const auto t1 = std::chrono::steady_clock::now();
+          lat_us->push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        };
+    std::vector<double> republish_us;
+    std::vector<double> swap_us;
+    // Untimed warmup: the first-ever publish allocates every shard
+    // snapshot and cache; the point tracks steady-state publish latency.
+    std::vector<double> warmup_us;
+    publish(nullptr, &warmup_us);
+    for (size_t i = 0; i < kPublishes; ++i) publish(nullptr, &republish_us);
+    for (size_t i = 0; i < kPublishes; ++i) {
+      publish(i % 2 == 0 ? pl : selective, &swap_us);
+    }
+    double total_us = 0.0;
+    for (const double us : republish_us) total_us += us;
+    const std::map<std::string, double> fields = {
+        {"publishes", static_cast<double>(kPublishes)},
+        {"pages", static_cast<double>(kPages)},
+        {"shards", 8.0},
+        {"qps", total_us > 0.0
+                    ? static_cast<double>(kPublishes) / (total_us * 1e-6)
+                    : 0.0},
+        {"p50_us", Percentile(republish_us, 50.0)},
+        {"p99_us", Percentile(republish_us, 99.0)},
+        {"swap_p50_us", Percentile(swap_us, 50.0)},
+        {"hw_threads", hw}};
+    bench::RegisterCounterBenchmark("serve/epoch_publish", fields);
+    sink.Emit(std::cout, "serve/epoch_publish", fields);
+    table.Row()
+        .Cell("publish")
+        .Cell("")
+        .Cell(static_cast<long long>(8))
+        .Cell(0.1, 2)
+        .Cell("")
+        .Cell("")
+        .Cell("on")
+        .Cell(fields.at("qps"), 0)
+        .Cell(fields.at("p50_us"), 1)
+        .Cell(fields.at("p99_us"), 1)
+        .Cell("swap p50 " + FormatFixed(fields.at("swap_p50_us"), 0) + " us");
   }
 
   // Policy-family sweep: one point per shipped ranking family, keyed by the

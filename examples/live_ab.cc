@@ -1,0 +1,149 @@
+// Live A/B experiment: the paper's headline claim measured on the serving
+// engine instead of the offline simulator. Two arms serve the same churning
+// community — the control arm with strict deterministic ranking ("none"),
+// the treatment arm with the paper's recommended selective randomized
+// promotion — and live traffic is split between them by user-id hash
+// bucketing (src/exp/). New pages are born continuously (the same churn
+// draw in both arms), so the run measures exactly the discovery race the
+// paper argues about: the randomized arm's median time-to-first-click for
+// newborn pages must beat the deterministic arm's, pinned by a Mann-Whitney
+// rank test over censored per-newborn samples. The process exits nonzero if
+// it does not, so this doubles as an acceptance driver.
+//
+// The run also exercises both online-experimentation primitives:
+//   * ramp — treatment starts at 10% of traffic and ramps to 50% after the
+//     burn-in epochs (hash-stable: every user already in treatment stays);
+//   * policy hot-swap — midway, the treatment arm's exploration rate is
+//     raised selective(r=0.05,k=2) -> selective(r=0.10,k=2), published
+//     atomically with an epoch while serving continues.
+//
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/examples/live_ab [--fast] [--jsonl]
+//
+// --jsonl additionally streams one machine-readable line per arm per epoch
+// (ExperimentManager::EmitEpochJsonl) — the live monitoring feed.
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "core/community.h"
+#include "core/policy/promotion_policy.h"
+#include "core/ranking_policy.h"
+#include "exp/experiment_manager.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+
+  bool fast = false;
+  bool jsonl = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strcmp(argv[i], "--jsonl") == 0) jsonl = true;
+  }
+
+  CommunityParams community = CommunityParams::Default();
+  community.n = fast ? 4000 : 20000;
+  community.u = 2000;
+  community.m = 200;
+  // A lively corpus: ~n/lifetime newborn pages per epoch(day), so the
+  // newborn cohort is large enough to decide the race within the run.
+  community.lifetime_days = fast ? 200.0 : 400.0;
+
+  const size_t kEpochs = fast ? 24 : 40;
+  const size_t kRampEpoch = 4;        // treatment 10% -> 50% after burn-in
+  const size_t kSwapEpoch = kEpochs / 2;  // hot-swap r=0.05 -> 0.10
+
+  ExperimentOptions opts;
+  opts.shards = 8;
+  opts.threads = 4;
+  opts.top_m = 10;
+  opts.queries_per_epoch = fast ? 20000 : 80000;
+  opts.prediscovered_fraction = 0.9;  // mature engine; 10% + newborns unknown
+  opts.seed = 0xab2026ULL;
+  opts.split.fractions = {0.9, 0.1};  // control, treatment (ramp start)
+
+  std::vector<ArmSpec> arms;
+  arms.push_back({"control", MakePromotionPolicy(RankPromotionConfig::None())});
+  arms.push_back(
+      {"treatment", MakePromotionPolicy(RankPromotionConfig::Selective(0.05, 2))});
+
+  std::cout << "live_ab: n=" << community.n << " pages, u=" << community.u
+            << " users, " << opts.queries_per_epoch << " queries/epoch, "
+            << kEpochs << " epochs, ~"
+            << static_cast<size_t>(community.lambda() *
+                                   static_cast<double>(community.n))
+            << " newborn pages/epoch (same churn in both arms)\n"
+            << "arms: control=" << arms[0].policy->Label()
+            << " vs treatment=" << arms[1].policy->Label()
+            << "; treatment ramps 10% -> 50% after epoch " << kRampEpoch
+            << ", hot-swaps to selective(r=0.10,k=2) at epoch " << kSwapEpoch
+            << "\n\n";
+
+  ExperimentManager exp(community, std::move(arms), opts);
+
+  Table table({"epoch", "arm", "split", "queries", "click-QPC", "tail-share",
+               "distinct", "gini", "newborn clicked/born", "TTFC med"});
+  for (size_t e = 1; e <= kEpochs; ++e) {
+    if (e == kRampEpoch + 1) {
+      TrafficSplit ramped = exp.bucketer().split();
+      ramped.fractions = {0.5, 0.5};
+      exp.SetSplit(ramped);
+    }
+    if (e == kSwapEpoch) {
+      exp.SwapPolicy(
+          1, MakePromotionPolicy(RankPromotionConfig::Selective(0.10, 2)));
+    }
+    exp.RunEpoch();
+    if (jsonl) exp.EmitEpochJsonl(std::cout);
+    for (size_t a = 0; a < exp.arms(); ++a) {
+      const LiveMetricsSnapshot snap = exp.ArmSnapshot(a);
+      table.Row()
+          .Cell(static_cast<long long>(e))
+          .Cell(exp.arm_spec(a).name)
+          .Cell(exp.bucketer().split().fractions[a], 2)
+          .Cell(static_cast<long long>(snap.epoch_queries))
+          .Cell(snap.click_qpc, 4)
+          .Cell(snap.tail_share, 4)
+          .Cell(static_cast<long long>(snap.distinct_pages))
+          .Cell(snap.impression_gini, 3)
+          .Cell(std::to_string(snap.newborn_clicked) + "/" +
+                std::to_string(snap.newborn_births))
+          .Cell(snap.ttfc_median_epochs, 1);
+    }
+  }
+  table.Print(std::cout);
+
+  // The verdict: per-newborn time-to-first-click, censored at the horizon
+  // (a page never clicked within the run counts as "at least the horizon" —
+  // the shared censor value keeps the rank test valid, see MannWhitneyZ).
+  const double censor = static_cast<double>(kEpochs) + 1.0;
+  const std::vector<double> control_ttfc = exp.ArmTtfcSamples(0, censor);
+  const std::vector<double> treatment_ttfc = exp.ArmTtfcSamples(1, censor);
+  const double control_median = Percentile(control_ttfc, 50.0);
+  const double treatment_median = Percentile(treatment_ttfc, 50.0);
+  // Negative z: treatment TTFC is stochastically smaller than control's.
+  const double z = MannWhitneyZ(treatment_ttfc, control_ttfc);
+
+  std::cout << "\nnewborn discovery (censored at " << censor << " epochs):\n"
+            << "  control   median TTFC = " << FormatFixed(control_median, 1)
+            << " epochs over " << control_ttfc.size() << " newborns\n"
+            << "  treatment median TTFC = " << FormatFixed(treatment_median, 1)
+            << " epochs over " << treatment_ttfc.size() << " newborns\n"
+            << "  Mann-Whitney z = " << FormatFixed(z, 2)
+            << " (negative favors treatment; |z| > 3.29 is p < 0.001)\n";
+
+  const bool treatment_wins = treatment_median < control_median && z < -3.29;
+  if (treatment_wins) {
+    std::cout << "\nVERDICT: the randomized arm discovers newborn pages "
+                 "significantly faster than deterministic ranking — the "
+                 "paper's case, observed on live serving traffic.\n";
+    return 0;
+  }
+  std::cout << "\nVERDICT: FAILED — randomized arm did not significantly "
+               "beat deterministic ranking on newborn discovery.\n";
+  return 1;
+}

@@ -1,0 +1,43 @@
+#include "exp/page_lifecycle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace randrank {
+
+PageLifecycle::PageLifecycle(const CommunityParams& community,
+                             double epochs_per_day)
+    : n_(community.n),
+      deaths_per_epoch_(community.lambda() * static_cast<double>(community.n) /
+                        std::max(epochs_per_day, 1e-12)) {
+  assert(community.Valid());
+  assert(epochs_per_day > 0.0);
+}
+
+std::vector<uint32_t> PageLifecycle::DrawDeaths(Rng& rng) const {
+  const uint64_t deaths = rng.NextPoisson(deaths_per_epoch_);
+  std::vector<uint32_t> dead;
+  dead.reserve(deaths);
+  for (uint64_t d = 0; d < deaths; ++d) {
+    dead.push_back(static_cast<uint32_t>(rng.NextIndex(n_)));
+  }
+  // A page dies at most once per epoch; the Poisson process puts repeat
+  // deaths of one id in the same epoch at O((lambda/n)^2) — drop them
+  // rather than double-count a rebirth.
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  return dead;
+}
+
+void PageLifecycle::ApplyDeaths(const std::vector<uint32_t>& deaths,
+                                int64_t epoch, ServingPageState* state) {
+  for (const uint32_t page : deaths) {
+    assert(page < state->n());
+    state->aware[page] = 0;
+    state->popularity[page] = 0.0;
+    state->zero_awareness[page] = 1;
+    state->birth_step[page] = epoch;
+  }
+}
+
+}  // namespace randrank

@@ -1,0 +1,55 @@
+#ifndef RANDRANK_EXP_PAGE_LIFECYCLE_H_
+#define RANDRANK_EXP_PAGE_LIFECYCLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/community.h"
+#include "serve/feedback.h"
+#include "util/rng.h"
+
+namespace randrank {
+
+/// Online page churn for long-running serving: the simulator's
+/// ApplyChurn-style birth/retirement process (paper Section 5.1 — Poisson
+/// page deaths at rate lambda = 1/lifetime, each dead page immediately
+/// replaced by a newborn occupying the same id and quality slot, so the
+/// stationary quality distribution is preserved) lifted out of
+/// AgentSimulator so the serve loop can run it per epoch.
+///
+/// The experiment layer draws ONE churn realization per epoch and applies
+/// it to EVERY arm's page state: the same pages are born at the same time
+/// in all arms (common random numbers), so per-arm discovery metrics —
+/// median time-to-first-click of newborn pages above all — compare the
+/// policies, not the luck of different churn draws.
+class PageLifecycle {
+ public:
+  /// `epochs_per_day` converts the community's per-day retirement rate to
+  /// the serve loop's epoch cadence (2.0 = two epochs per simulated day,
+  /// so each epoch carries half a day's churn).
+  PageLifecycle(const CommunityParams& community, double epochs_per_day = 1.0);
+
+  /// Draws one epoch's deaths: Poisson(lambda * n / epochs_per_day) page
+  /// ids, sampled uniformly (a page can die at most once per epoch;
+  /// duplicates are dropped, matching the per-page-at-most-one-death
+  /// granularity of the simulator at daily rates).
+  std::vector<uint32_t> DrawDeaths(Rng& rng) const;
+
+  /// Applies one death list to an arm's page state: the dead page's id is
+  /// reborn as a fresh page — awareness zeroed everywhere, popularity zero,
+  /// zero_awareness flag raised, birth stamped `epoch` — while its quality
+  /// slot is kept (stationary quality distribution, as in
+  /// AgentSimulator::ApplyChurn).
+  static void ApplyDeaths(const std::vector<uint32_t>& deaths, int64_t epoch,
+                          ServingPageState* state);
+
+  double deaths_per_epoch() const { return deaths_per_epoch_; }
+
+ private:
+  size_t n_;
+  double deaths_per_epoch_;
+};
+
+}  // namespace randrank
+
+#endif  // RANDRANK_EXP_PAGE_LIFECYCLE_H_

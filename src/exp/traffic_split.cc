@@ -1,0 +1,63 @@
+#include "exp/traffic_split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace randrank {
+
+TrafficSplit TrafficSplit::Even(size_t arms, uint64_t salt) {
+  TrafficSplit split;
+  split.salt = salt;
+  split.fractions.assign(std::max<size_t>(1, arms),
+                         1.0 / static_cast<double>(std::max<size_t>(1, arms)));
+  return split;
+}
+
+bool TrafficSplit::Valid() const {
+  if (fractions.empty()) return false;
+  double total = 0.0;
+  for (const double f : fractions) {
+    if (!(f >= 0.0) || f > 1.0) return false;
+    total += f;
+  }
+  return std::abs(total - 1.0) <= 1e-9;
+}
+
+HashBucketer::HashBucketer(TrafficSplit split) : split_(std::move(split)) {
+  assert(split_.Valid());
+  cumulative_.reserve(split_.fractions.size());
+  double running = 0.0;
+  for (const double f : split_.fractions) {
+    running += f;
+    cumulative_.push_back(running);
+  }
+  // Float summation drift must not orphan the top of the hash interval —
+  // the last arm's boundary is exactly 1 so every hash point has an owner.
+  cumulative_.back() = 1.0;
+}
+
+double HashBucketer::HashPoint(uint64_t unit_id) const {
+  // Two splitmix64 rounds over the salted id: one round leaves low-entropy
+  // ids (sequential query counters are the common case) visibly correlated
+  // in the high bits; two fully avalanche them. Top 53 bits -> [0, 1).
+  uint64_t state = unit_id ^ (split_.salt * 0x9e3779b97f4a7c15ULL);
+  SplitMix64(&state);
+  const uint64_t h = SplitMix64(&state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+size_t HashBucketer::ArmForId(uint64_t unit_id) const {
+  const double point = HashPoint(unit_id);
+  // Linear scan: experiments have a handful of arms, and the scan keeps the
+  // interval geometry (first boundary >= point wins) trivially auditable.
+  for (size_t arm = 0; arm + 1 < cumulative_.size(); ++arm) {
+    if (point < cumulative_[arm]) return arm;
+  }
+  return cumulative_.size() - 1;
+}
+
+}  // namespace randrank

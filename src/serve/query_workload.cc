@@ -140,6 +140,7 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
   if (queue != nullptr) {
     queue->Stop();
     result.batches = queue->batches_served();
+    result.queue = queue->stats();
   } else {
     result.batches = threads * ((quota + batch_size - 1) / batch_size);
   }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "serve/batch_queue.h"
 #include "serve/sharded_rank_server.h"
 
 namespace randrank {
@@ -51,6 +52,11 @@ struct WorkloadResult {
   /// ServeBatch executions observed (== queries in per-query mode; for the
   /// async mode this is the queue consumer's count).
   uint64_t batches = 0;
+  /// Async mode only: the shared BatchQueue's occupancy counters after the
+  /// final drain (queue depth, batch sizes, drain causes — the queue-health
+  /// signals a live experiment watches; see BatchQueueStats). All-zero in
+  /// the per-query and synchronous-batch modes.
+  BatchQueueStats queue;
 };
 
 /// Closed-loop load generator: spawns `threads` workers against the server,

@@ -101,6 +101,13 @@ struct EpochPrefixCache;
 /// different epochs (cross-shard snapshot isolation).
 struct ServingView {
   uint64_t epoch = 0;
+  /// The policy this epoch was ranked and is served under. Queries dispatch
+  /// through it — never through server-level mutable state — so a policy
+  /// hot-swap (ShardedRankServer::Update with a new policy) is exactly as
+  /// atomic as the epoch publish itself: every query realizes under the one
+  /// policy its pinned view was built with, even while the writer publishes
+  /// a different one. Always equals shards[s]->policy for every shard.
+  std::shared_ptr<const StochasticRankingPolicy> policy;
   std::vector<std::shared_ptr<const RankSnapshot>> shards;
   /// Per-epoch materialization of the cross-shard deterministic merge order
   /// and global pool (see serve/epoch_prefix_cache.h). Built by the writer

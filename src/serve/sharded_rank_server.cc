@@ -12,6 +12,7 @@ ShardedRankServer::ShardedRankServer(
     std::shared_ptr<const StochasticRankingPolicy> policy, size_t num_pages,
     ServeOptions options)
     : policy_(std::move(policy)),
+      initial_policy_(policy_),
       n_(num_pages),
       opts_(options),
       writer_rng_(Rng::ForStream(options.seed, 0)),
@@ -28,8 +29,14 @@ ShardedRankServer::ShardedRankServer(RankPromotionConfig config,
                                      size_t num_pages, ServeOptions options)
     : ShardedRankServer(MakePromotionPolicy(config), num_pages, options) {}
 
+std::shared_ptr<const StochasticRankingPolicy> ShardedRankServer::policy()
+    const {
+  const std::shared_ptr<const ServingView> view = store_.Load(nullptr);
+  return view != nullptr ? view->policy : initial_policy_;
+}
+
 const RankPromotionConfig& ShardedRankServer::config() const {
-  const RankPromotionConfig* config = policy_->AsPromotion();
+  const RankPromotionConfig* config = policy()->AsPromotion();
   assert(config != nullptr && "config() is promotion-family-only");
   return *config;
 }
@@ -43,13 +50,31 @@ void ShardedRankServer::Update(const std::vector<double>& popularity,
                                const std::vector<uint8_t>& zero_awareness,
                                const std::vector<int64_t>& birth_step,
                                ThreadPool* pool) {
+  Update(popularity, zero_awareness, birth_step, nullptr, pool);
+}
+
+void ShardedRankServer::Update(
+    const std::vector<double>& popularity,
+    const std::vector<uint8_t>& zero_awareness,
+    const std::vector<int64_t>& birth_step,
+    std::shared_ptr<const StochasticRankingPolicy> new_policy,
+    ThreadPool* pool) {
   assert(popularity.size() == n_);
   assert(zero_awareness.size() == n_);
   assert(birth_step.size() == n_);
+  if (new_policy != nullptr) {
+    // Hot-swap: the new policy ranks this epoch and every later one. It is
+    // only ever observed through the view published below, so in-flight
+    // queries pinned to the previous epoch keep serving under the previous
+    // policy — the swap is atomic at epoch granularity.
+    assert(new_policy->Valid());
+    policy_ = std::move(new_policy);
+  }
 
   const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
   auto view = std::make_shared<ServingView>();
   view->epoch = epoch;
+  view->policy = policy_;
   view->shards.resize(shard_pages_.size());
 
   // Each shard build gets a forked rng so parallel builds stay independent
@@ -123,6 +148,10 @@ size_t ShardedRankServer::ServeBatch(Context& ctx, QueryBatch* batch) const {
 
 size_t ShardedRankServer::ServeOne(Context& ctx, const ServingView& view,
                                    size_t m, std::vector<uint32_t>* out) const {
+  // Dispatch through the policy the pinned view was built with — not any
+  // server-level member — so a concurrent hot-swap Update can never pair a
+  // query with a policy that mismatches its ranking state.
+  const StochasticRankingPolicy& policy = *view.policy;
   const EpochPrefixCache* cache = view.cache.get();
   if (cache != nullptr) {
     // Cached path: the cross-shard deterministic merge, the global pool,
@@ -132,16 +161,16 @@ size_t ShardedRankServer::ServeOne(Context& ctx, const ServingView& view,
     // splice; Plackett-Luce: O(m) expected alias draws; epsilon-tail:
     // head memcpy + explored slots only).
     const ShardView global = cache->AsView();
-    return policy_->ServePrefix(&global, 1, cache->policy_state.get(),
-                                ctx.scratch_, m, ctx.rng_, out);
+    return policy.ServePrefix(&global, 1, cache->policy_state.get(),
+                              ctx.scratch_, m, ctx.rng_, out);
   }
   // Per-query path: the policy realizes directly over the shard views,
   // with no per-epoch state.
   const size_t shards = view.shards.size();
   ctx.views_.resize(shards);
   for (size_t s = 0; s < shards; ++s) ctx.views_[s] = view.shards[s]->AsView();
-  return policy_->ServePrefix(ctx.views_.data(), shards, nullptr, ctx.scratch_,
-                              m, ctx.rng_, out);
+  return policy.ServePrefix(ctx.views_.data(), shards, nullptr, ctx.scratch_,
+                            m, ctx.rng_, out);
 }
 
 void ShardedRankServer::RecordVisit(Context& ctx, uint32_t page) {

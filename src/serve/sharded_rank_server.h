@@ -130,6 +130,22 @@ class ShardedRankServer {
               const std::vector<int64_t>& birth_step,
               ThreadPool* pool = nullptr);
 
+  /// Policy hot-swap: like Update, but the new epoch is ranked and served
+  /// under `new_policy` (which becomes the server's policy for every later
+  /// Update too). The swap is published atomically with the epoch — the
+  /// snapshots, the epoch cache (rebuilt iff the *new* policy's capabilities
+  /// allow), and the policy itself swap in as one ServingView, so a query
+  /// pinned to the old view keeps realizing under the old policy and a query
+  /// pinned to the new one under the new: no query is ever dropped, and none
+  /// is served by a policy that mismatches its ranking state. This is the
+  /// online A/B ramp primitive the experiment layer (src/exp/) builds on.
+  /// Passing null keeps the current policy (== the 4-arg overload).
+  void Update(const std::vector<double>& popularity,
+              const std::vector<uint8_t>& zero_awareness,
+              const std::vector<int64_t>& birth_step,
+              std::shared_ptr<const StochasticRankingPolicy> new_policy,
+              ThreadPool* pool = nullptr);
+
   /// Returns the accumulated per-page visit counts and resets them.
   std::vector<uint64_t> DrainVisits();
 
@@ -163,9 +179,14 @@ class ShardedRankServer {
   }
   size_t n() const { return n_; }
   size_t shards() const { return shard_pages_.size(); }
-  const StochasticRankingPolicy& policy() const { return *policy_; }
-  /// Promotion-family configuration; must only be called when the policy is
-  /// the promotion family.
+  /// The policy of the most recently *published* epoch (the one queries are
+  /// being served under), or the construction policy before the first
+  /// Update. Thread-safe, including concurrently with a hot-swap Update —
+  /// the returned shared_ptr keeps the policy alive past any swap.
+  std::shared_ptr<const StochasticRankingPolicy> policy() const;
+  /// Promotion-family configuration; must only be called when the currently
+  /// published policy is the promotion family, and the returned reference is
+  /// only stable while no hot-swap Update retires that policy.
   const RankPromotionConfig& config() const;
 
   /// True when the currently published epoch carries an EpochPrefixCache —
@@ -180,7 +201,15 @@ class ShardedRankServer {
   size_t ServeOne(Context& ctx, const ServingView& view, size_t m,
                   std::vector<uint32_t>* out) const;
 
+  /// Writer-owned: the policy the *next* Update will rank and publish under
+  /// (reassigned by a hot-swap Update). Never read on the query path — the
+  /// published ServingView carries its own policy, which is what queries
+  /// and the thread-safe policy() accessor dispatch through.
   std::shared_ptr<const StochasticRankingPolicy> policy_;
+  /// Immutable construction-time policy, the policy() fallback before the
+  /// first publish (safe to read concurrently with a first hot-swap Update,
+  /// unlike the writer-owned policy_).
+  const std::shared_ptr<const StochasticRankingPolicy> initial_policy_;
   size_t n_;
   ServeOptions opts_;
   std::vector<std::vector<uint32_t>> shard_pages_;  // page ids per shard

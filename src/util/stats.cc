@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace randrank {
 
@@ -194,6 +195,79 @@ void MergeSparseCells(std::vector<double>* a, std::vector<double>* b,
   }
   a->swap(ma);
   b->swap(mb);
+}
+
+double GiniCoefficient(const std::vector<double>& mass) {
+  if (mass.empty()) return 0.0;
+  std::vector<double> sorted = mass;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    assert(sorted[i] >= 0.0);
+    total += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  // G = (2 * sum(i * x_(i)) - (n + 1) * sum(x)) / (n * sum(x)).
+  return (2.0 * weighted - (n + 1.0) * total) / (n * total);
+}
+
+double ShannonEntropyBits(const std::vector<double>& mass) {
+  double total = 0.0;
+  for (const double x : mass) {
+    assert(x >= 0.0);
+    total += x;
+  }
+  if (total <= 0.0) return 0.0;
+  double bits = 0.0;
+  for (const double x : mass) {
+    if (x <= 0.0) continue;
+    const double p = x / total;
+    bits -= p * std::log2(p);
+  }
+  return bits;
+}
+
+double MannWhitneyZ(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  if (na == 0 || nb == 0) return 0.0;
+  // Pool, sort, assign midranks to tied runs, and accumulate a's rank sum
+  // plus the tie-correction term sum(t^3 - t) over tie-group sizes t.
+  std::vector<std::pair<double, bool>> pooled;  // (value, from_a)
+  pooled.reserve(na + nb);
+  for (const double x : a) pooled.emplace_back(x, true);
+  for (const double x : b) pooled.emplace_back(x, false);
+  std::sort(pooled.begin(), pooled.end(),
+            [](const auto& l, const auto& r) { return l.first < r.first; });
+
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;
+  const size_t n = pooled.size();
+  for (size_t i = 0; i < n;) {
+    size_t j = i;
+    while (j < n && pooled[j].first == pooled[i].first) ++j;
+    const auto ties = static_cast<double>(j - i);
+    const double midrank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (pooled[k].second) rank_sum_a += midrank;
+    }
+    tie_term += ties * ties * ties - ties;
+    i = j;
+  }
+
+  const auto da = static_cast<double>(na);
+  const auto db = static_cast<double>(nb);
+  const auto dn = static_cast<double>(n);
+  const double u = rank_sum_a - da * (da + 1.0) / 2.0;
+  const double mean_u = da * db / 2.0;
+  const double variance =
+      da * db / 12.0 * (dn + 1.0 - tie_term / (dn * (dn - 1.0)));
+  if (variance <= 0.0) return 0.0;
+  return (u - mean_u) / std::sqrt(variance);
 }
 
 double WeightedMean(const std::vector<double>& values,

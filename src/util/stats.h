@@ -92,6 +92,27 @@ void MergeSparseCells(std::vector<double>* a, std::vector<double>* b,
 double WeightedMean(const std::vector<double>& values,
                     const std::vector<double>& weights);
 
+/// Gini coefficient of a non-negative mass vector (0 = perfectly even,
+/// -> 1 = all mass on one entry). Zero entries count — a catalogue where
+/// one page takes every impression over n pages scores (n-1)/n, not 0.
+/// Returns 0 for empty input or zero total mass. Sorts a copy, O(n log n).
+double GiniCoefficient(const std::vector<double>& mass);
+
+/// Shannon entropy (in bits) of the distribution obtained by normalizing a
+/// non-negative mass vector; zero cells contribute nothing. Returns 0 for
+/// empty input or zero total. Max is log2(#positive cells) — even exposure.
+double ShannonEntropyBits(const std::vector<double>& mass);
+
+/// Mann-Whitney / Wilcoxon rank-sum z statistic for samples `a` vs `b`
+/// (midranks for ties, tie-corrected variance, normal approximation —
+/// appropriate from ~8 observations per side). Negative z means `a` tends
+/// to take SMALLER values than `b`. Suits right-censored durations with a
+/// common censoring horizon (record the censor value itself for unfinished
+/// observations; the shared tie rank keeps the test valid — Gehan's
+/// generalization). Returns 0 when either sample is empty or the variance
+/// degenerates (e.g. all observations tied).
+double MannWhitneyZ(const std::vector<double>& a, const std::vector<double>& b);
+
 }  // namespace randrank
 
 #endif  // RANDRANK_UTIL_STATS_H_

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/community.h"
@@ -16,6 +17,7 @@
 #include "core/policy/promotion_policy.h"
 #include "core/rank_merge.h"
 #include "core/ranking_policy.h"
+#include "harness/presets.h"
 #include "serve/query_workload.h"
 #include "serve/sharded_rank_server.h"
 #include "sim/agent_sim.h"
@@ -141,38 +143,66 @@ TEST(PolicyFactoryTest, RejectionsEchoTheLabelAndKnownFamilies) {
   EXPECT_EQ(error, "sentinel");
 }
 
-// The PL and eps-tail families expose ParseLabel statics mirroring
-// RankPromotionConfig::ParseLabel: exact inverses of Label(), strict about
-// trailing garbage, and leaving outputs untouched on failure.
-TEST(PolicyFactoryTest, FamilyParseLabelsRoundTripAndStayStrict) {
-  for (const double t : {0.05, 0.33, 2.50}) {
-    const std::string label = PlackettLucePolicy(t).Label();
-    double parsed = -1.0;
-    ASSERT_TRUE(PlackettLucePolicy::ParseLabel(label, &parsed)) << label;
-    EXPECT_EQ(PlackettLucePolicy(parsed).Label(), label);
+// Family slug of a label or of a KnownPolicyFamilyPrefixes entry: the text
+// up to the parameter list ("selective(r=0.10,k=2)" -> "selective").
+std::string FamilySlug(const std::string& label) {
+  return label.substr(0, label.find('('));
+}
+
+// The label vocabulary, swept generically instead of per-family statics:
+// every family MakePolicyFromLabel knows (KnownPolicyFamilyPrefixes) must
+// have representative labels here that (a) round-trip exactly and (b)
+// reject a standard battery of malformations derived from the label itself.
+// A new family added to the factory without representatives in the standard
+// sets fails the coverage assertion — joining the sweep is the admission
+// ticket.
+TEST(PolicyFactoryTest, EveryKnownFamilyRoundTripsAndRejectsMalformedLabels) {
+  // Representatives: one hand-picked label per shipped family (including
+  // the parameterless "none") plus everything the standard policy sets
+  // produce, deduplicated.
+  std::set<std::string> labels = {
+      "none",
+      "uniform(r=0.30,k=3)",
+      "selective(r=0.10,k=2)",
+      "plackett-luce(T=0.33)",
+      "eps-tail(eps=0.25,k=7)",
+  };
+  for (const auto& policy : StandardPolicyFamilies()) {
+    labels.insert(policy->Label());
   }
-  for (const auto& [eps, k] :
-       std::vector<std::pair<double, size_t>>{{0.0, 0}, {0.25, 7}, {1.0, 99}}) {
-    const std::string label = EpsilonTailPolicy(eps, k).Label();
-    double parsed_eps = -1.0;
-    size_t parsed_k = 1234;
-    ASSERT_TRUE(EpsilonTailPolicy::ParseLabel(label, &parsed_eps, &parsed_k))
-        << label;
-    EXPECT_EQ(EpsilonTailPolicy(parsed_eps, parsed_k).Label(), label);
+  for (const auto& policy : PolicyTuningGrid()) {
+    labels.insert(policy->Label());
   }
 
-  double t = -1.0;
-  EXPECT_FALSE(PlackettLucePolicy::ParseLabel("plackett-luce(T=0.05)x", &t));
-  EXPECT_FALSE(PlackettLucePolicy::ParseLabel("plackett-luce(T=", &t));
-  EXPECT_FALSE(PlackettLucePolicy::ParseLabel("eps-tail(eps=0.10,k=5)", &t));
-  EXPECT_EQ(t, -1.0);  // untouched on failure
-  double eps = -1.0;
-  size_t k = 1234;
-  EXPECT_FALSE(
-      EpsilonTailPolicy::ParseLabel("eps-tail(eps=0.10,k=5)j", &eps, &k));
-  EXPECT_FALSE(EpsilonTailPolicy::ParseLabel("plackett-luce(T=1)", &eps, &k));
-  EXPECT_EQ(eps, -1.0);
-  EXPECT_EQ(k, 1234u);
+  // Coverage: every known family prefix has at least one representative.
+  std::set<std::string> covered;
+  for (const std::string& label : labels) covered.insert(FamilySlug(label));
+  for (const std::string& prefix : KnownPolicyFamilyPrefixes()) {
+    EXPECT_TRUE(covered.count(FamilySlug(prefix)))
+        << "family \"" << prefix
+        << "\" has no representative label in the round-trip sweep";
+  }
+
+  for (const std::string& label : labels) {
+    // Round trip: parse succeeds and reproduces the label byte for byte.
+    std::string error;
+    const auto parsed = MakePolicyFromLabel(label, &error);
+    ASSERT_NE(parsed, nullptr) << label << ": " << error;
+    EXPECT_EQ(parsed->Label(), label);
+    EXPECT_TRUE(parsed->Valid()) << label;
+
+    // Malformation battery, derived from the label so every family gets the
+    // same treatment: trailing garbage, truncation, and a bare parameter
+    // list must all be rejected (strict parsing — a mangled label must
+    // never silently map to a policy whose Label() differs from the input).
+    for (const std::string& bad :
+         {label + "x", label + " ", label.substr(0, label.size() - 1),
+          FamilySlug(label) + "(", "x" + label}) {
+      EXPECT_EQ(MakePolicyFromLabel(bad), nullptr)
+          << "malformed \"" << bad << "\" (from \"" << label
+          << "\") was accepted";
+    }
+  }
 }
 
 TEST(PolicyFactoryTest, StandardFamiliesAreValidAndDistinct) {

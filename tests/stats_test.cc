@@ -214,5 +214,60 @@ TEST(WeightedMeanTest, ZeroWeights) {
   EXPECT_DOUBLE_EQ(WeightedMean({1.0, 2.0}, {0.0, 0.0}), 0.0);
 }
 
+TEST(GiniCoefficientTest, EvenMassScoresZeroAndConcentrationApproachesOne) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({3.0, 3.0, 3.0, 3.0}), 0.0);
+  // All mass on one of n entries: G = (n-1)/n.
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0.0, 0.0, 0.0, 7.0}), 0.75);
+  // Order must not matter (the function sorts internally).
+  EXPECT_DOUBLE_EQ(GiniCoefficient({5.0, 1.0, 2.0}),
+                   GiniCoefficient({1.0, 2.0, 5.0}));
+  // A known hand-computed case: {1, 3} -> G = 1/4.
+  EXPECT_DOUBLE_EQ(GiniCoefficient({1.0, 3.0}), 0.25);
+}
+
+TEST(ShannonEntropyBitsTest, UniformHitsLog2AndDegeneratesToZero) {
+  EXPECT_DOUBLE_EQ(ShannonEntropyBits({}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropyBits({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropyBits({2.0, 2.0, 2.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropyBits({9.0}), 0.0);
+  // Zero cells contribute nothing: {4, 4, 0} == {4, 4}.
+  EXPECT_DOUBLE_EQ(ShannonEntropyBits({4.0, 4.0, 0.0}), 1.0);
+  // {3, 1}: H = -(3/4)log2(3/4) - (1/4)log2(1/4).
+  const double expected =
+      -(0.75 * std::log2(0.75)) - (0.25 * std::log2(0.25));
+  EXPECT_NEAR(ShannonEntropyBits({3.0, 1.0}), expected, 1e-12);
+}
+
+TEST(MannWhitneyZTest, SeparatedSamplesRejectAndIdenticalDoNot) {
+  // a entirely below b: strongly negative z.
+  std::vector<double> lo;
+  std::vector<double> hi;
+  for (int i = 0; i < 30; ++i) {
+    lo.push_back(static_cast<double>(i));
+    hi.push_back(100.0 + static_cast<double>(i));
+  }
+  EXPECT_LT(MannWhitneyZ(lo, hi), -5.0);
+  EXPECT_GT(MannWhitneyZ(hi, lo), 5.0);
+  // Identical samples: z == 0 by symmetry (all ranks shared).
+  EXPECT_DOUBLE_EQ(MannWhitneyZ(lo, lo), 0.0);
+  // Degenerate cases return 0 instead of NaN.
+  EXPECT_DOUBLE_EQ(MannWhitneyZ({}, hi), 0.0);
+  EXPECT_DOUBLE_EQ(MannWhitneyZ(lo, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MannWhitneyZ({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(MannWhitneyZTest, CensoredTiesKeepTheTestUsable) {
+  // Right-censored durations at a common horizon (the live_ab TTFC shape):
+  // the a-arm finishes early, most of the b-arm never finishes and records
+  // the censor value. Midranks + tie correction must still separate them.
+  const double censor = 50.0;
+  std::vector<double> fast{1, 2, 2, 3, 4, 5, 5, 6, 8, censor, censor, 9};
+  std::vector<double> slow{censor, censor, censor, censor, censor,
+                           censor, censor, censor, 12.0,   censor};
+  EXPECT_LT(MannWhitneyZ(fast, slow), -2.5);
+}
+
 }  // namespace
 }  // namespace randrank

@@ -18,7 +18,11 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
   * a missing serve/pl_alias:{on,off} ablation point, or an alias-table
     speedup under min_pl_alias_speedup (the within-run ratio of
     alias-path Plackett-Luce QPS over the O(n) Gumbel path — hardware
-    independent, like min_speedup_vs_percall).
+    independent, like min_speedup_vs_percall),
+  * a missing serve/epoch_publish point, or one without positive publish
+    latencies (the epoch_publish list records the Update()-latency
+    coverage: snapshot rebuild + BuildEpochState + cache build is the
+    unit cost of an online policy hot-swap, so it must stay measured).
 
 Absolute QPS varies across runner hardware, so baseline values are
 recorded deliberately low (see --headroom at --update time) and the gate
@@ -147,6 +151,27 @@ def check(records, baseline, tolerance):
         else:
             rows.append((name, record.get("qps"), None, None, "ok"))
 
+    # Epoch-publish coverage: the Update()-latency point must be present and
+    # carry positive latency fields (a point that lost its latency metrics —
+    # e.g. a refactor dropping the timing — must not pass silently). The QPS
+    # floor above already gates its publish rate like any other bench.
+    for name in baseline.get("epoch_publish", []):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: epoch-publish record missing from run")
+            rows.append((name, None, None, None, "MISSING"))
+            continue
+        p50 = record.get("p50_us", 0.0)
+        swap_p50 = record.get("swap_p50_us", 0.0)
+        ok = p50 > 0.0 and swap_p50 > 0.0
+        rows.append((f"{name} p50_us", p50, None, None,
+                     "ok" if ok else "MISSING"))
+        if not ok:
+            failures.append(
+                f"{name}: publish latencies missing or non-positive "
+                f"(p50_us={p50}, swap_p50_us={swap_p50})"
+            )
+
     # Policy-sweep coverage: every ranking family the baseline records must
     # still emit at least one serve/policy: point (a family silently dropped
     # from the sweep is a gate failure, like a shrunk sweep).
@@ -232,6 +257,9 @@ def update_baseline(records, path, tolerance, headroom):
         "min_pl_alias_speedup": 3.0,
         "alias_ablation": sorted(
             name for name in records if name.startswith("serve/pl_alias:")
+        ),
+        "epoch_publish": sorted(
+            name for name in records if name.startswith("serve/epoch_publish")
         ),
         "policy_families": sorted(
             {policy_family(name) for name in records} - {None}
