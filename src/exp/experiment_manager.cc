@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/visit_law.h"
+#include "obs/metrics.h"
 
 namespace randrank {
 
@@ -73,6 +74,9 @@ ExperimentManager::ExperimentManager(const CommunityParams& community,
     sopts.shards = opts_.shards;
     sopts.enable_prefix_cache = opts_.enable_prefix_cache;
     sopts.seed = SplitMix64(&mix) + a;
+    sopts.metrics = opts_.metrics;
+    sopts.trace = opts_.trace;
+    sopts.obs_prefix = "exp/arm:" + arms[a].name;
     auto server = std::make_unique<ShardedRankServer>(arms[a].policy,
                                                       community_.n, sopts);
     arm_states_.emplace_back(std::move(arms[a]), std::move(server), base,
@@ -240,6 +244,17 @@ void ExperimentManager::RunEpoch() {
     for (ArmState& arm : arm_states_) {
       PageLifecycle::ApplyDeaths(dead, serving, &arm.state);
       arm.metrics.RecordBirths(dead, serving);
+    }
+  }
+
+  if (opts_.metrics != nullptr) {
+    // The epoch's health metrics ride the registry under the same per-arm
+    // prefixes the serve layer instruments, one exporter feed for the run.
+    for (size_t a = 0; a < arm_states_.size(); ++a) {
+      const std::string prefix = "exp/arm:" + arm_states_[a].spec.name;
+      arm_states_[a].metrics.PublishTo(*opts_.metrics, prefix);
+      opts_.metrics->GetGauge(prefix + "/split")
+          .Set(bucketer_.split().fractions[a]);
     }
   }
 

@@ -53,6 +53,13 @@ struct ExperimentOptions {
   double prediscovered_fraction = 0.0;
   /// Epoch cadence for the churn rate (see PageLifecycle).
   double epochs_per_day = 1.0;
+  /// Observability (optional, borrowed): one registry/trace shared by every
+  /// arm. Each arm's server instruments itself under the prefix
+  /// "exp/arm:<name>" (per-arm serve histograms + publish spans), and
+  /// RunEpoch publishes each arm's LiveMetrics snapshot and live split
+  /// fraction as "exp/arm:<name>/<field>" gauges after absorbing the epoch.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
   uint64_t seed = 0xab5eedULL;
 };
 

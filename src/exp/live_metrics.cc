@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace randrank {
@@ -81,6 +82,27 @@ LiveMetricsSnapshot LiveMetrics::Snapshot() const {
   snap.epoch_queries = epoch_queries_;
   snap.epoch_clicks = epoch_clicks_;
   return snap;
+}
+
+void LiveMetrics::PublishTo(obs::MetricsRegistry& registry,
+                            const std::string& prefix) const {
+  const LiveMetricsSnapshot snap = Snapshot();
+  const auto set = [&](const char* field, double value) {
+    registry.GetGauge(prefix + "/" + field).Set(value);
+  };
+  set("queries", static_cast<double>(snap.queries));
+  set("slots_served", static_cast<double>(snap.slots_served));
+  set("clicks", static_cast<double>(snap.clicks));
+  set("click_qpc", snap.click_qpc);
+  set("tail_share", snap.tail_share);
+  set("distinct_pages", static_cast<double>(snap.distinct_pages));
+  set("impression_gini", snap.impression_gini);
+  set("impression_entropy_bits", snap.impression_entropy_bits);
+  set("newborn_births", static_cast<double>(snap.newborn_births));
+  set("newborn_clicked", static_cast<double>(snap.newborn_clicked));
+  set("ttfc_median_epochs", snap.ttfc_median_epochs);
+  set("epoch_queries", static_cast<double>(snap.epoch_queries));
+  set("epoch_clicks", static_cast<double>(snap.epoch_clicks));
 }
 
 std::vector<double> LiveMetrics::TtfcSamples(double censor_epochs) const {

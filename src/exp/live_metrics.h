@@ -4,11 +4,16 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "serve/feedback.h"
 
 namespace randrank {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Point-in-time read of one arm's LiveMetrics (cumulative over the run,
 /// plus the current epoch's traffic counts). The fields the paper's
@@ -102,6 +107,14 @@ class LiveMetrics {
   void RecordBirths(const std::vector<uint32_t>& born, int64_t epoch);
 
   LiveMetricsSnapshot Snapshot() const;
+
+  /// Publishes the current Snapshot() into `registry` as gauges named
+  /// `<prefix>/<field>` (click_qpc, tail_share, impression_gini, ...), so an
+  /// arm's live health rides the same exporter feed as the serve-layer
+  /// metrics. Driver-thread only, like every other mutator here; typically
+  /// called once per epoch by ExperimentManager::RunEpoch.
+  void PublishTo(obs::MetricsRegistry& registry,
+                 const std::string& prefix) const;
 
   /// Time-to-first-click samples over every newborn life tracked so far:
   /// discovered newborns contribute their real birth->first-click epochs;

@@ -1,0 +1,102 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace randrank::obs {
+
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+bool HasPrefix(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.rfind(prefix, 0) == 0;
+}
+
+std::string Key(const std::string& name, const std::string& prefix,
+                bool strip_prefix) {
+  return strip_prefix ? name.substr(prefix.size()) : name;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = Sanitize(name) + "_total";
+    os << "# TYPE " << metric << " counter\n" << metric << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = Sanitize(name);
+    os << "# TYPE " << metric << " gauge\n" << metric << ' ' << value << '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string metric = Sanitize(name);
+    os << "# TYPE " << metric << " histogram\n";
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < hist.counts.size(); ++b) {
+      if (hist.counts[b] == 0) continue;
+      cumulative += hist.counts[b];
+      os << metric << "_bucket{le=\"" << LatencyHistogram::BucketHi(b)
+         << "\"} " << cumulative << '\n';
+    }
+    os << metric << "_bucket{le=\"+Inf\"} " << hist.total << '\n'
+       << metric << "_sum " << hist.sum << '\n'
+       << metric << "_count " << hist.total << '\n';
+  }
+  return os.str();
+}
+
+std::map<std::string, double> FlatFields(const MetricsSnapshot& snapshot,
+                                         const std::string& prefix,
+                                         bool strip_prefix) {
+  std::map<std::string, double> fields;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!HasPrefix(name, prefix)) continue;
+    fields[Key(name, prefix, strip_prefix)] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!HasPrefix(name, prefix)) continue;
+    fields[Key(name, prefix, strip_prefix)] = value;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!HasPrefix(name, prefix)) continue;
+    const std::string key = Key(name, prefix, strip_prefix);
+    fields[key + "_p50"] = hist.Quantile(0.50);
+    fields[key + "_p99"] = hist.Quantile(0.99);
+    fields[key + "_max"] = static_cast<double>(hist.Max());
+    fields[key + "_mean"] = hist.Mean();
+    fields[key + "_count"] = static_cast<double>(hist.total);
+  }
+  return fields;
+}
+
+void WriteJsonl(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "{\"bench\":\"obs/" << name << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "{\"bench\":\"obs/" << name << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    os << "{\"bench\":\"obs/" << name << "\",\"count\":" << hist.total
+       << ",\"max\":" << hist.Max() << ",\"mean\":" << hist.Mean()
+       << ",\"p50\":" << hist.Quantile(0.50)
+       << ",\"p90\":" << hist.Quantile(0.90)
+       << ",\"p99\":" << hist.Quantile(0.99) << "}\n";
+  }
+}
+
+}  // namespace randrank::obs

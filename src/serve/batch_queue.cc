@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace randrank {
 
 BatchQueue::BatchQueue(ShardedRankServer& server, BatchQueueOptions options)
     : server_(server), opts_(options) {
+  if (opts_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *opts_.metrics;
+    const std::string& p = opts_.obs_prefix;
+    wait_hist_ = &reg.GetHistogram(p + "/wait_ns");
+    queries_ctr_ = &reg.GetCounter(p + "/queries_total");
+    batches_ctr_ = &reg.GetCounter(p + "/batches_total");
+    full_ctr_ = &reg.GetCounter(p + "/full_drains");
+    deadline_ctr_ = &reg.GetCounter(p + "/deadline_drains");
+    greedy_ctr_ = &reg.GetCounter(p + "/greedy_drains");
+    depth_gauge_ = &reg.GetGauge(p + "/depth");
+    max_depth_gauge_ = &reg.GetGauge(p + "/max_depth");
+    max_batch_gauge_ = &reg.GetGauge(p + "/max_batch");
+  }
   consumer_ = std::thread([this] { ConsumerLoop(); });
 }
 
@@ -44,6 +60,7 @@ bool BatchQueue::Enqueue(PendingQuery&& query) {
       });
     }
     if (stopping_) return false;
+    if (wait_hist_ != nullptr) query.submitted_ns = obs::FastNowNs();
     if (pending_.empty()) {
       // This query anchors the drain deadline for the batch it starts.
       oldest_pending_at_ = std::chrono::steady_clock::now();
@@ -88,6 +105,8 @@ void BatchQueue::ConsumerLoop() {
   std::vector<PendingQuery> draining;
 
   for (;;) {
+    const char* cause = "greedy";
+    uint64_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       submitted_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
@@ -102,18 +121,43 @@ void BatchQueue::ConsumerLoop() {
         const bool full = submitted_.wait_until(lock, deadline, [&] {
           return stopping_ || pending_.size() >= max_batch;
         });
+        cause = stopping_ ? "greedy" : full ? "full" : "deadline";
         (stopping_ ? greedy_drains_ : full ? full_drains_ : deadline_drains_)
             .fetch_add(1, std::memory_order_relaxed);
       }
       // This thread is the only writer of the max counters; plain
       // load/store suffices.
-      const uint64_t depth = pending_.size();
+      depth = pending_.size();
       if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
         max_queue_depth_.store(depth, std::memory_order_relaxed);
       }
       draining.swap(pending_);
     }
     drained_.notify_all();
+
+    if (wait_hist_ != nullptr) {
+      // One clock read covers the whole drain: every drained query became
+      // servable at the same pickup instant.
+      const uint64_t picked_up_ns = obs::FastNowNs();
+      for (const PendingQuery& query : draining) {
+        wait_hist_->Record(picked_up_ns > query.submitted_ns
+                               ? picked_up_ns - query.submitted_ns
+                               : 0);
+      }
+      (cause[0] == 'f'   ? full_ctr_
+       : cause[0] == 'd' ? deadline_ctr_
+                         : greedy_ctr_)
+          ->Add();
+      depth_gauge_->Set(static_cast<double>(depth));
+      max_depth_gauge_->Set(static_cast<double>(
+          max_queue_depth_.load(std::memory_order_relaxed)));
+      if (opts_.trace != nullptr && opts_.trace->sample_every() > 0 &&
+          drain_seq_++ % opts_.trace->sample_every() == 0) {
+        opts_.trace->EmitSpan("queue/drain", 0.0,
+                              {{"depth", static_cast<double>(depth)}},
+                              {{"cause", cause}});
+      }
+    }
 
     // Fold runs of same-m queries into one ServeBatch each: every query is
     // still an independent realization from this context's Rng stream, in
@@ -141,6 +185,12 @@ void BatchQueue::ConsumerLoop() {
       batches_served_.fetch_add(1, std::memory_order_relaxed);
       if (count > max_batch_served_.load(std::memory_order_relaxed)) {
         max_batch_served_.store(count, std::memory_order_relaxed);
+      }
+      if (queries_ctr_ != nullptr) {
+        queries_ctr_->Add(count);
+        batches_ctr_->Add();
+        max_batch_gauge_->Set(static_cast<double>(
+            max_batch_served_.load(std::memory_order_relaxed)));
       }
       begin = end;
     }

@@ -29,6 +29,18 @@ struct BatchQueueOptions {
   /// delay trades per-query latency for fuller batches under light load
   /// (fewer view pins per query); it never delays a full batch.
   uint64_t max_delay_us = 0;
+  /// Observability (optional, borrowed): with `metrics` set the queue
+  /// records per-query queue wait (submit -> drain pickup) into the
+  /// histogram `<obs_prefix>/wait_ns` and mirrors every BatchQueueStats
+  /// counter as registry metrics (`<obs_prefix>/queries_total`,
+  /// `batches_total`, `full_drains`, `deadline_drains`, `greedy_drains`
+  /// counters; `depth`, `max_depth`, `max_batch` gauges) — the one export
+  /// path live monitoring reads, instead of hand-copying stats() fields.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// With `trace` also set, drains emit sampled "queue/drain" spans (depth,
+  /// batch size, drain cause) at the TraceLog's sample_every stride.
+  obs::TraceLog* trace = nullptr;
+  std::string obs_prefix = "queue";
 };
 
 /// Point-in-time occupancy counters for tuning the queue (see
@@ -117,6 +129,9 @@ class BatchQueue {
   struct PendingQuery {
     size_t m = 0;
     bool has_promise = false;
+    /// Submission stamp for the queue-wait histogram; 0 (never taken) when
+    /// the queue runs without a registry.
+    uint64_t submitted_ns = 0;
     std::promise<std::vector<uint32_t>> promise;
     std::function<void(std::vector<uint32_t>)> callback;
   };
@@ -143,6 +158,21 @@ class BatchQueue {
   std::atomic<uint64_t> full_drains_{0};
   std::atomic<uint64_t> deadline_drains_{0};
   std::atomic<uint64_t> greedy_drains_{0};
+
+  /// Registry endpoints, resolved once at construction (all null when
+  /// opts_.metrics is null). Only the consumer thread writes them, except
+  /// wait_hist_ which is inherently multi-shard.
+  obs::LatencyHistogram* wait_hist_ = nullptr;
+  obs::Counter* queries_ctr_ = nullptr;
+  obs::Counter* batches_ctr_ = nullptr;
+  obs::Counter* full_ctr_ = nullptr;
+  obs::Counter* deadline_ctr_ = nullptr;
+  obs::Counter* greedy_ctr_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* max_depth_gauge_ = nullptr;
+  obs::Gauge* max_batch_gauge_ = nullptr;
+  /// Consumer-local drain counter driving queue/drain span sampling.
+  uint64_t drain_seq_ = 0;
 
   std::thread consumer_;
 };

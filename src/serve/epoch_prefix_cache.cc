@@ -1,13 +1,17 @@
 #include "serve/epoch_prefix_cache.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "core/rank_merge.h"
 
 namespace randrank {
 
 std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
-    const ServingView& view) {
+    const ServingView& view, BuildPhaseTimings* timings) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point build_start =
+      timings != nullptr ? Clock::now() : Clock::time_point();
   auto cache = std::make_shared<EpochPrefixCache>();
   cache->epoch = view.epoch;
 
@@ -42,6 +46,9 @@ std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
                        shard->pool.end());
   }
 
+  const Clock::time_point merge_done =
+      timings != nullptr ? Clock::now() : Clock::time_point();
+
   // Policy-owned per-epoch state over the *merged* global view — distinct
   // from the per-shard states the snapshots carry, because the cached serve
   // path realizes over this cache's concatenated arrays. Built last so the
@@ -49,6 +56,14 @@ std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
   if (!view.shards.empty()) {
     cache->policy_state =
         view.shards.front()->policy->BuildEpochState(cache->AsView());
+  }
+  if (timings != nullptr) {
+    timings->merge_us =
+        std::chrono::duration<double, std::micro>(merge_done - build_start)
+            .count();
+    timings->epoch_state_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - merge_done)
+            .count();
   }
   return cache;
 }

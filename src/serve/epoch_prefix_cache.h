@@ -63,10 +63,20 @@ struct EpochPrefixCache {
             det.size(), pool.data(),      pool.size()};
   }
 
+  /// Wall-clock split of one Build call, for the publish-phase trace spans:
+  /// the S-way merge + pool concatenation vs the policy's BuildEpochState.
+  struct BuildPhaseTimings {
+    double merge_us = 0.0;
+    double epoch_state_us = 0.0;
+  };
+
   /// Runs the S-way deterministic merge over `view`'s shard snapshots and
   /// concatenates their pools. O(n·S) time, O(n) memory; called once per
-  /// publish by the writer, never on the query path.
-  static std::shared_ptr<const EpochPrefixCache> Build(const ServingView& view);
+  /// publish by the writer, never on the query path. With `timings` non-null
+  /// the two build phases are clocked (a few extra clock reads; pass null
+  /// when nothing consumes them).
+  static std::shared_ptr<const EpochPrefixCache> Build(
+      const ServingView& view, BuildPhaseTimings* timings = nullptr);
 };
 
 }  // namespace randrank

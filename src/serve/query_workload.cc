@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/visit_law.h"
+#include "obs/metrics.h"
 #include "serve/batch_queue.h"
 
 namespace randrank {
@@ -53,6 +54,12 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
     BatchQueueOptions qopts;
     qopts.max_batch = batch_size;
     qopts.max_delay_us = options.async_max_delay_us;
+    // The queue publishes its wait histogram and occupancy counters through
+    // the server's registry (replacing the old hand-copied stats() fields in
+    // WorkloadResult).
+    qopts.metrics = server.metrics();
+    qopts.trace = server.trace();
+    qopts.obs_prefix = "workload_queue";
     queue = std::make_unique<BatchQueue>(server, qopts);
   }
 
@@ -127,6 +134,13 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
   pool.reserve(threads);
   for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
 
+  // With a registry attached, per-query service times accumulate in the
+  // serve histograms as a side effect of serving; snapshotting around the
+  // run isolates this workload's recordings from anything already there.
+  const std::string hist_prefix = server.obs_prefix() + "/latency_ns/";
+  obs::MetricsSnapshot obs_before;
+  if (server.metrics() != nullptr) obs_before = server.metrics()->Snapshot();
+
   const uint64_t visits_before = server.total_visits();
   const Clock::time_point start = Clock::now();
   go.store(true, std::memory_order_release);
@@ -140,7 +154,6 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
   if (queue != nullptr) {
     queue->Stop();
     result.batches = queue->batches_served();
-    result.queue = queue->stats();
   } else {
     result.batches = threads * ((quota + batch_size - 1) / batch_size);
   }
@@ -166,6 +179,28 @@ WorkloadResult RunQueryWorkload(ShardedRankServer& server,
     result.p50_latency_us = at(50.0);
     result.p99_latency_us = at(99.0);
     result.max_latency_us = all.back();
+  }
+
+  // Synchronous modes: prefer the per-query serve histogram over the
+  // wall-clock estimate (which, in batched mode, was batch wall time divided
+  // by batch size — a mean, not a distribution). Async keeps the measured
+  // submit-to-completion numbers: queue wait is part of what it reports.
+  if (!options.async && server.metrics() != nullptr) {
+    const obs::MetricsSnapshot obs_after = server.metrics()->Snapshot();
+    obs::HistogramSnapshot served;
+    for (const auto& [name, snap] : obs_after.histograms) {
+      if (name.rfind(hist_prefix, 0) != 0) continue;
+      const auto before = obs_before.histograms.find(name);
+      served.Merge(before != obs_before.histograms.end()
+                       ? snap.Delta(before->second)
+                       : snap);
+    }
+    if (!served.empty()) {
+      result.p50_latency_us = served.Quantile(0.50) * 1e-3;
+      result.p99_latency_us = served.Quantile(0.99) * 1e-3;
+      result.max_latency_us = static_cast<double>(served.Max()) * 1e-3;
+      result.histogram_latency = true;
+    }
   }
   return result;
 }

@@ -46,17 +46,27 @@ struct WorkloadResult {
   uint64_t visits = 0;
   double seconds = 0.0;
   double qps = 0.0;
+  /// Latency percentiles. Semantics changed with the obs layer: when the
+  /// server carries a MetricsRegistry (ServeOptions::metrics), the
+  /// synchronous modes derive these from the per-query serve histogram
+  /// (true per-query service time, uniform across the single and batched
+  /// paths) instead of the old batch-wall-time / batch-size estimate, which
+  /// flattened the tail. Async mode always reports workload-measured
+  /// submit-to-completion latency (queue wait included). Without a registry
+  /// the old wall-clock measurement stands. histogram_latency says which
+  /// source filled them.
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// True when the percentiles above came from the serve histogram delta.
+  bool histogram_latency = false;
   /// ServeBatch executions observed (== queries in per-query mode; for the
   /// async mode this is the queue consumer's count).
   uint64_t batches = 0;
-  /// Async mode only: the shared BatchQueue's occupancy counters after the
-  /// final drain (queue depth, batch sizes, drain causes — the queue-health
-  /// signals a live experiment watches; see BatchQueueStats). All-zero in
-  /// the per-query and synchronous-batch modes.
-  BatchQueueStats queue;
+  /// Queue-health counters (depth, batch sizes, drain causes) are no longer
+  /// copied out here: in async mode the shared BatchQueue publishes them
+  /// into the server's MetricsRegistry (`workload_queue/...`), the same
+  /// export path live monitoring reads.
 };
 
 /// Closed-loop load generator: spawns `threads` workers against the server,
@@ -64,9 +74,8 @@ struct WorkloadResult {
 /// ServeBatch batches, or through an async BatchQueue — see
 /// WorkloadOptions) and clicking results per the rank-biased visit law from
 /// visit_law.h. Blocks until every worker finished its quota, flushes all
-/// feedback, and returns aggregate throughput and latency percentiles. In
-/// batched mode per-query latency is the batch wall time divided by its
-/// size; in async mode it is submit-to-completion, queueing included.
+/// feedback, and returns aggregate throughput and latency percentiles (see
+/// WorkloadResult for which clock feeds the percentiles in each mode).
 WorkloadResult RunQueryWorkload(ShardedRankServer& server,
                                 const WorkloadOptions& options);
 

@@ -95,6 +95,7 @@ size_t BestDetHead(const RankSnapshot* const* snaps, const size_t* cursors,
                    size_t shards);
 
 struct EpochPrefixCache;
+struct ServeObsHooks;
 
 /// One published generation of the whole server: every shard's snapshot,
 /// swapped in atomically as a unit so a query never observes shards from two
@@ -114,6 +115,14 @@ struct ServingView {
   /// at publish time; null when the server runs with the cache disabled.
   /// Immutable after publish and invalidated only by the next epoch's view.
   std::shared_ptr<const EpochPrefixCache> cache;
+  /// Observability endpoints resolved at publish time (the per-query
+  /// latency histogram for this epoch's cache branch + policy family, the
+  /// trace sink, span attributes — see ServeObsHooks in
+  /// serve/sharded_rank_server.h). Carried by the view, not the server, so
+  /// a query pinned to an old epoch during a hot-swap records into the
+  /// metrics that match what actually served it. Null when the server runs
+  /// without observability — the hot path then pays one branch.
+  std::shared_ptr<const ServeObsHooks> obs;
 
   size_t n() const;
 };

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "core/policy/promotion_policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/epoch_prefix_cache.h"
 
 namespace randrank {
+
+namespace {
+
+/// Family slug of a policy label: the label up to its parameter list —
+/// "selective(r=0.10,k=2)" -> "selective". The histogram-name split the
+/// check_bench.py policy_family() convention also uses.
+std::string FamilySlug(const std::string& label) {
+  return label.substr(0, label.find('('));
+}
+
+double MicrosBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
 
 ShardedRankServer::ShardedRankServer(
     std::shared_ptr<const StochasticRankingPolicy> policy, size_t num_pages,
@@ -62,13 +81,20 @@ void ShardedRankServer::Update(
   assert(popularity.size() == n_);
   assert(zero_awareness.size() == n_);
   assert(birth_step.size() == n_);
-  if (new_policy != nullptr) {
+  using Clock = std::chrono::steady_clock;
+  const bool tracing = opts_.trace != nullptr;
+  const Clock::time_point publish_start = Clock::now();
+  const bool swapping = new_policy != nullptr;
+  double swap_us = 0.0;
+  if (swapping) {
     // Hot-swap: the new policy ranks this epoch and every later one. It is
     // only ever observed through the view published below, so in-flight
     // queries pinned to the previous epoch keep serving under the previous
     // policy — the swap is atomic at epoch granularity.
     assert(new_policy->Valid());
+    const Clock::time_point t0 = Clock::now();
     policy_ = std::move(new_policy);
+    swap_us = MicrosBetween(t0, Clock::now());
   }
 
   const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
@@ -93,23 +119,92 @@ void ShardedRankServer::Update(
         policy_, epoch, shard_pages_[s], popularity, zero_awareness,
         birth_step, build_rngs[s], /*build_epoch_state=*/false);
   };
+  const Clock::time_point shards_start = Clock::now();
   if (pool != nullptr && shard_pages_.size() > 1) {
     ParallelFor(*pool, shard_pages_.size(), build_shard);
   } else {
     for (size_t s = 0; s < shard_pages_.size(); ++s) build_shard(s);
   }
+  const Clock::time_point shards_done = Clock::now();
 
   // The cache participates only when the policy declares the epoch_state
   // capability: the materialized global merge order plus whatever the
   // policy's BuildEpochState derives from it (promotion's splice inputs,
   // Plackett-Luce's alias table, epsilon-tail's cached head). Families
   // without it fall back to the per-query sharded path.
+  EpochPrefixCache::BuildPhaseTimings cache_timings;
   if (opts_.enable_prefix_cache && policy_->Capabilities().epoch_state) {
-    view->cache = EpochPrefixCache::Build(*view);
+    view->cache =
+        EpochPrefixCache::Build(*view, tracing ? &cache_timings : nullptr);
   }
+  const bool cached = view->cache != nullptr;
 
+  view->obs = BuildObsHooks(cached);
+  const Clock::time_point rcu_start = Clock::now();
   store_.Publish(std::move(view));
   epoch_.store(epoch, std::memory_order_release);
+  const Clock::time_point publish_done = Clock::now();
+
+  if (opts_.metrics != nullptr) {
+    const uint64_t publish_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(publish_done -
+                                                             publish_start)
+            .count());
+    opts_.metrics->GetHistogram(opts_.obs_prefix + "/publish_ns")
+        .Record(publish_ns);
+    opts_.metrics->GetCounter(opts_.obs_prefix + "/publishes").Add();
+    opts_.metrics->GetGauge(opts_.obs_prefix + "/epoch")
+        .Set(static_cast<double>(epoch));
+  }
+  if (tracing) {
+    // Per-phase publish spans, one line each, always emitted (publishes are
+    // rare): shard re-sort, merge + BuildEpochState (zero-duration when the
+    // cache is off), the policy swap when one rode this publish, the RCU
+    // pointer swap, and the whole publish as the parent span.
+    const auto e = static_cast<double>(epoch);
+    const auto s = static_cast<double>(shard_pages_.size());
+    const double sw = swapping ? 1.0 : 0.0;
+    obs::TraceLog& trace = *opts_.trace;
+    trace.EmitSpan("publish/shards", MicrosBetween(shards_start, shards_done),
+                   {{"epoch", e}, {"shards", s}});
+    if (cached) {
+      trace.EmitSpan("publish/merge", cache_timings.merge_us,
+                     {{"epoch", e}, {"shards", s}});
+      trace.EmitSpan("publish/epoch_state", cache_timings.epoch_state_us,
+                     {{"epoch", e}});
+    }
+    if (swapping) {
+      trace.EmitSpan("publish/policy_swap", swap_us, {{"epoch", e}},
+                     {{"family", FamilySlug(policy_->Label())}});
+    }
+    trace.EmitSpan("publish/rcu_publish",
+                   MicrosBetween(rcu_start, publish_done), {{"epoch", e}});
+    trace.EmitSpan("publish/total", MicrosBetween(publish_start, publish_done),
+                   {{"epoch", e},
+                    {"shards", s},
+                    {"swap", sw},
+                    {"cached", cached ? 1.0 : 0.0}},
+                   {{"family", FamilySlug(policy_->Label())}});
+  }
+}
+
+std::shared_ptr<const ServeObsHooks> ShardedRankServer::BuildObsHooks(
+    bool cached) const {
+  if (opts_.metrics == nullptr) return nullptr;
+  auto hooks = std::make_shared<ServeObsHooks>();
+  hooks->cached = cached;
+  hooks->fanout = static_cast<double>(shard_pages_.size());
+  hooks->family = FamilySlug(policy_->Label());
+  hooks->latency = &opts_.metrics->GetHistogram(
+      opts_.obs_prefix + "/latency_ns/" + (cached ? "cached/" : "sharded/") +
+      hooks->family);
+  hooks->queries = &opts_.metrics->GetCounter(opts_.obs_prefix + "/queries");
+  hooks->slots = &opts_.metrics->GetCounter(opts_.obs_prefix + "/slots");
+  if (opts_.trace != nullptr && opts_.trace->sample_every() > 0) {
+    hooks->trace = opts_.trace;
+    hooks->sample_every = opts_.trace->sample_every();
+  }
+  return hooks;
 }
 
 ShardedRankServer::Context ShardedRankServer::CreateContext() const {
@@ -139,15 +234,77 @@ size_t ShardedRankServer::ServeBatch(Context& ctx, QueryBatch* batch) const {
   for (auto& result : batch->results) result.clear();
   const ServingView* view = ctx.handle_.Get();
   if (view == nullptr || batch->m == 0) return 0;
+  const ServeObsHooks* hooks = view->obs.get();
+  const size_t queries = batch->results.size();
+  if (hooks == nullptr || queries == 0) {
+    size_t total = 0;
+    for (auto& result : batch->results) {
+      total += ServeUninstrumented(ctx, *view, batch->m, &result);
+    }
+    return total;
+  }
+
+  // Batch-granular stamping: two clock reads and one histogram write cover
+  // the whole batch, booking each query's amortized share (batch_ns /
+  // queries). Within one batch of identical-m queries the per-query spread
+  // is below fast-clock resolution anyway; the latency tail that matters —
+  // cross-batch variation from cache misses, epoch swaps, load — survives
+  // intact, and the per-query instrumentation cost drops to ~batch_size-th
+  // of ServeOne's (the serve/obs ablation's <= 5% QPS gate is measured on
+  // this path at batch=16).
+  const uint64_t t0 = obs::FastNowNs();
   size_t total = 0;
   for (auto& result : batch->results) {
-    total += ServeOne(ctx, *view, batch->m, &result);
+    total += ServeUninstrumented(ctx, *view, batch->m, &result);
+  }
+  const uint64_t batch_ns = obs::FastNowNs() - t0;
+  hooks->latency->RecordN(batch_ns / queries, queries);
+  hooks->queries->Add(queries);
+  hooks->slots->Add(total);
+  if (hooks->trace != nullptr && ctx.obs_seq_++ % hooks->sample_every == 0) {
+    hooks->trace->EmitSpan("serve/batch",
+                           static_cast<double>(batch_ns) * 1e-3,
+                           {{"epoch", static_cast<double>(view->epoch)},
+                            {"m", static_cast<double>(batch->m)},
+                            {"queries", static_cast<double>(queries)},
+                            {"served", static_cast<double>(total)},
+                            {"cached", hooks->cached ? 1.0 : 0.0},
+                            {"fanout", hooks->fanout}},
+                           {{"family", hooks->family}});
   }
   return total;
 }
 
 size_t ShardedRankServer::ServeOne(Context& ctx, const ServingView& view,
                                    size_t m, std::vector<uint32_t>* out) const {
+  const ServeObsHooks* hooks = view.obs.get();
+  if (hooks == nullptr) return ServeUninstrumented(ctx, view, m, out);
+
+  // True per-query service time: stamped around the realization itself, so
+  // the histogram measures each query — not batch wall time averaged — at a
+  // fixed few-ns cost (two fast-clock reads + one relaxed fetch_add).
+  const uint64_t t0 = obs::FastNowNs();
+  const size_t served = ServeUninstrumented(ctx, view, m, out);
+  const uint64_t service_ns = obs::FastNowNs() - t0;
+  hooks->latency->Record(service_ns);
+  hooks->queries->Add();
+  hooks->slots->Add(served);
+  if (hooks->trace != nullptr && ctx.obs_seq_++ % hooks->sample_every == 0) {
+    hooks->trace->EmitSpan("serve/query",
+                           static_cast<double>(service_ns) * 1e-3,
+                           {{"epoch", static_cast<double>(view.epoch)},
+                            {"m", static_cast<double>(m)},
+                            {"served", static_cast<double>(served)},
+                            {"cached", hooks->cached ? 1.0 : 0.0},
+                            {"fanout", hooks->fanout}},
+                           {{"family", hooks->family}});
+  }
+  return served;
+}
+
+size_t ShardedRankServer::ServeUninstrumented(
+    Context& ctx, const ServingView& view, size_t m,
+    std::vector<uint32_t>* out) const {
   // Dispatch through the policy the pinned view was built with — not any
   // server-level member — so a concurrent hot-swap Update can never pair a
   // query with a policy that mismatches its ranking state.

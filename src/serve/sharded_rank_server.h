@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/policy/stochastic_ranking_policy.h"
@@ -16,6 +17,14 @@
 #include "util/thread_pool.h"
 
 namespace randrank {
+
+namespace obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+class MetricsRegistry;
+class TraceLog;
+}  // namespace obs
 
 struct ServeOptions {
   /// Number of shards pages are partitioned across (page p lives on shard
@@ -35,6 +44,41 @@ struct ServeOptions {
   /// Effective only when the policy's Capabilities() also declare
   /// epoch_state; otherwise every query takes the per-query path regardless.
   bool enable_prefix_cache = true;
+  /// Observability (optional, borrowed — the registry/trace must outlive the
+  /// server). With `metrics` set, every query records its true service time
+  /// into a per-epoch-resolved log-bucketed histogram
+  /// `<obs_prefix>/latency_ns/<cached|sharded>/<family>` (split by cache
+  /// branch and policy family), publishes record into
+  /// `<obs_prefix>/publish_ns`, and counters/gauges under `<obs_prefix>/`
+  /// track queries, slots, publishes, and the live epoch. Null (default)
+  /// keeps the hot path identical to the uninstrumented server except for
+  /// one pointer test per query.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// With `trace` also set, Update() emits epoch-publish phase spans (shard
+  /// re-sort, merge, BuildEpochState, policy swap, RCU publish) and the
+  /// query path emits sampled per-query spans (service time, cache branch,
+  /// policy family, shard fan-out) at the TraceLog's sample_every stride.
+  obs::TraceLog* trace = nullptr;
+  /// Metric-name prefix, so several servers (e.g. experiment arms) can share
+  /// one registry without colliding.
+  std::string obs_prefix = "serve";
+};
+
+/// Observability endpoints of one published epoch, resolved once per
+/// Update() (registry lookups, family slug, fan-out) and carried by the
+/// ServingView so the query path records through plain pointers — and so
+/// metric attribution follows the pinned view across policy hot-swaps.
+struct ServeObsHooks {
+  obs::LatencyHistogram* latency = nullptr;  // service time, nanoseconds
+  obs::Counter* queries = nullptr;
+  obs::Counter* slots = nullptr;
+  obs::TraceLog* trace = nullptr;  // null when tracing is off
+  /// Per-context span sampling stride (TraceLog's sample_every); 0 = never.
+  uint64_t sample_every = 0;
+  /// Span attributes, fixed for the epoch.
+  bool cached = false;
+  double fanout = 1.0;
+  std::string family;
 };
 
 /// A batch of same-m queries answered against one pinned ServingView via
@@ -105,6 +149,9 @@ class ShardedRankServer {
     SnapshotHandle<ServingView> handle_;
     Rng rng_{0};
     std::vector<uint32_t> visit_batch_;
+    /// Queries this context has served with observability on; drives the
+    /// deterministic 1-in-sample_every trace sampling stride.
+    uint64_t obs_seq_ = 0;
     // Per-query policy scratch and borrowed shard views, reused across
     // queries to avoid allocation.
     PolicyScratch scratch_;
@@ -195,11 +242,24 @@ class ShardedRankServer {
   /// the capability-gating tests assert on.
   bool PrefixCacheActive() const;
 
+  /// The observability endpoints this server was constructed with (null when
+  /// off). The query workload uses these to derive its latency percentiles
+  /// from the server's own per-query histograms.
+  obs::MetricsRegistry* metrics() const { return opts_.metrics; }
+  obs::TraceLog* trace() const { return opts_.trace; }
+  const std::string& obs_prefix() const { return opts_.obs_prefix; }
+
  private:
   /// One query against an already-pinned view; the shared core of ServeTopM
   /// and ServeBatch (so the two are bit-identical given the same Rng state).
+  /// Wraps ServeUninstrumented with the per-query latency record and the
+  /// sampled query span when the view carries obs hooks.
   size_t ServeOne(Context& ctx, const ServingView& view, size_t m,
                   std::vector<uint32_t>* out) const;
+  size_t ServeUninstrumented(Context& ctx, const ServingView& view, size_t m,
+                             std::vector<uint32_t>* out) const;
+  /// Builds the epoch's resolved obs endpoints (null when metrics are off).
+  std::shared_ptr<const ServeObsHooks> BuildObsHooks(bool cached) const;
 
   /// Writer-owned: the policy the *next* Update will rank and publish under
   /// (reassigned by a hot-swap Update). Never read on the query path — the

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/ranking_policy.h"
+#include "obs/metrics.h"
 #include "serve/sharded_rank_server.h"
 #include "util/rng.h"
 
@@ -222,6 +223,41 @@ TEST(BatchQueueTest, GreedyModeReportsGreedyDrains) {
   const BatchQueueStats stats = queue.stats();
   EXPECT_GE(stats.greedy_drains, 1u);
   EXPECT_EQ(stats.deadline_drains + stats.full_drains, 0u);
+}
+
+TEST(BatchQueueTest, RegistrySurfacesStatsAndWaitHistogram) {
+  const size_t n = 100;
+  Fixture fx(n, 20);
+  auto server = MakeServer(fx, n);
+  obs::MetricsRegistry registry;
+  BatchQueueOptions qopts;
+  qopts.max_batch = 4;
+  qopts.metrics = &registry;
+  qopts.obs_prefix = "q";
+  BatchQueue queue(*server, qopts);
+
+  std::vector<std::future<std::vector<uint32_t>>> futures;
+  for (int q = 0; q < 8; ++q) futures.push_back(queue.Submit(5));
+  for (auto& f : futures) EXPECT_EQ(f.get().size(), 5u);
+  queue.Stop();
+
+  // The registry mirrors every stats() field — the live-monitoring path and
+  // the legacy struct must agree.
+  const BatchQueueStats stats = queue.stats();
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("q/queries_total"), stats.queries_served);
+  EXPECT_EQ(snap.counters.at("q/batches_total"), stats.batches_served);
+  EXPECT_EQ(snap.counters.at("q/full_drains"), stats.full_drains);
+  EXPECT_EQ(snap.counters.at("q/deadline_drains"), stats.deadline_drains);
+  EXPECT_EQ(snap.counters.at("q/greedy_drains"), stats.greedy_drains);
+  EXPECT_EQ(snap.gauges.at("q/max_depth"),
+            static_cast<double>(stats.max_queue_depth));
+  EXPECT_EQ(snap.gauges.at("q/max_batch"),
+            static_cast<double>(stats.max_batch_served));
+  // Every served query recorded its queue wait.
+  const obs::HistogramSnapshot& wait = snap.histograms.at("q/wait_ns");
+  EXPECT_EQ(wait.total, stats.queries_served);
+  EXPECT_GT(wait.Mean(), 0.0);
 }
 
 TEST(BatchQueueTest, BackpressureBoundsPendingWithoutDeadlock) {

@@ -22,7 +22,12 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
   * a missing serve/epoch_publish point, or one without positive publish
     latencies (the epoch_publish list records the Update()-latency
     coverage: snapshot rebuild + BuildEpochState + cache build is the
-    unit cost of an online policy hot-swap, so it must stay measured).
+    unit cost of an online policy hot-swap, so it must stay measured),
+  * a missing serve/obs:{on,off} ablation point, or an instrumented-path
+    QPS ratio (the on point's qps_vs_off, the best pairwise on/off ratio
+    over alternating reps) under min_obs_qps_ratio — the observability
+    layer's <= 5% overhead acceptance criterion, gated hardware-
+    independently like the other within-run ratios.
 
 Absolute QPS varies across runner hardware, so baseline values are
 recorded deliberately low (see --headroom at --update time) and the gate
@@ -151,6 +156,31 @@ def check(records, baseline, tolerance):
         else:
             rows.append((name, record.get("qps"), None, None, "ok"))
 
+    # Observability-overhead ablation: the serve/obs pair must be present and
+    # the instrumented point must retain at least min_obs_qps_ratio of the
+    # bare point's QPS (its qps_vs_off field — measured as the best pairwise
+    # on/off ratio over alternating reps, so CI-runner noise bursts do not
+    # masquerade as instrumentation cost).
+    min_obs = baseline.get("min_obs_qps_ratio", 0.0)
+    for name in baseline.get("obs_ablation", []):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: obs-ablation record missing from run")
+            rows.append((name, None, None, None, "MISSING"))
+            continue
+        if name.endswith(":on") and min_obs > 0.0:
+            ratio = record.get("qps_vs_off", 0.0)
+            ok = ratio >= min_obs
+            rows.append((f"{name} qps_vs_off", ratio, min_obs, None,
+                         "ok" if ok else "REGRESSION"))
+            if not ok:
+                failures.append(
+                    f"obs overhead: instrumented QPS ratio {ratio:.3f} fell "
+                    f"below {min_obs:.2f} of the uninstrumented point"
+                )
+        else:
+            rows.append((name, record.get("qps"), None, None, "ok"))
+
     # Epoch-publish coverage: the Update()-latency point must be present and
     # carry positive latency fields (a point that lost its latency metrics —
     # e.g. a refactor dropping the timing — must not pass silently). The QPS
@@ -255,8 +285,12 @@ def update_baseline(records, path, tolerance, headroom):
         "tolerance": tolerance if tolerance is not None else 0.30,
         "min_speedup_vs_percall": 2.0,
         "min_pl_alias_speedup": 3.0,
+        "min_obs_qps_ratio": 0.95,
         "alias_ablation": sorted(
             name for name in records if name.startswith("serve/pl_alias:")
+        ),
+        "obs_ablation": sorted(
+            name for name in records if name.startswith("serve/obs:")
         ),
         "epoch_publish": sorted(
             name for name in records if name.startswith("serve/epoch_publish")

@@ -23,7 +23,8 @@ smoke invocation):
 
 Usage:
     plot_trend.py JSONL [JSONL ...] [--bench NAME ...] [--format md|csv]
-                  [--metric qps|p99_us|both] [--summary PATH]
+                  [--metric qps|p99_us|hist_p50_us|hist_p99_us|both]
+                  [--summary PATH]
 """
 
 import argparse
@@ -39,6 +40,7 @@ DEFAULT_BENCHES = [
     "serve/cache:on/batch:16",
     "serve/policy:selective(r=0.10,k=2)",
     "serve/pl_alias:on",
+    "serve/obs:on",
 ]
 
 
@@ -87,6 +89,8 @@ def pick_benches(runs, requested):
 def fmt(value, metric):
     if value is None:
         return "—"
+    # qps columns are whole numbers; latency columns (p99_us and the
+    # histogram-derived hist_p50_us/hist_p99_us) keep one decimal.
     return f"{value:,.0f}" if metric == "qps" else f"{value:.1f}"
 
 
@@ -133,9 +137,11 @@ def main():
     parser.add_argument("--format", choices=("md", "csv"), default="md")
     parser.add_argument(
         "--metric",
-        choices=("qps", "p99_us", "both"),
+        choices=("qps", "p99_us", "hist_p50_us", "hist_p99_us", "both"),
         default="both",
-        help="which metric column(s) to render per bench",
+        help="which metric column(s) to render per bench; hist_p50_us/"
+        "hist_p99_us are the serve-histogram-derived percentiles points "
+        "with an obs registry attach (e.g. serve/obs:on)",
     )
     parser.add_argument(
         "--summary",
