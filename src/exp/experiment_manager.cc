@@ -250,9 +250,12 @@ void ExperimentManager::RunEpoch() {
   if (opts_.metrics != nullptr) {
     // The epoch's health metrics ride the registry under the same per-arm
     // prefixes the serve layer instruments, one exporter feed for the run.
+    // The live gauges get their own /live segment: the serve layer already
+    // owns e.g. exp/arm:X/queries as a counter, and the registry rejects
+    // re-registering a name as a different kind.
     for (size_t a = 0; a < arm_states_.size(); ++a) {
       const std::string prefix = "exp/arm:" + arm_states_[a].spec.name;
-      arm_states_[a].metrics.PublishTo(*opts_.metrics, prefix);
+      arm_states_[a].metrics.PublishTo(*opts_.metrics, prefix + "/live");
       opts_.metrics->GetGauge(prefix + "/split")
           .Set(bucketer_.split().fractions[a]);
     }

@@ -56,8 +56,11 @@ struct ExperimentOptions {
   /// Observability (optional, borrowed): one registry/trace shared by every
   /// arm. Each arm's server instruments itself under the prefix
   /// "exp/arm:<name>" (per-arm serve histograms + publish spans), and
-  /// RunEpoch publishes each arm's LiveMetrics snapshot and live split
-  /// fraction as "exp/arm:<name>/<field>" gauges after absorbing the epoch.
+  /// RunEpoch publishes each arm's LiveMetrics snapshot as
+  /// "exp/arm:<name>/live/<field>" gauges (the /live segment keeps them
+  /// clear of the serve layer's counters under the same prefix) plus the
+  /// live split fraction as "exp/arm:<name>/split" after absorbing the
+  /// epoch.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceLog* trace = nullptr;
   uint64_t seed = 0xab5eedULL;

@@ -1,0 +1,204 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace randrank::net {
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool NetClient::Connect(const std::string& host, uint16_t port, int retries,
+                        int retry_ms, int timeout_ms) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) continue;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (timeout_ms > 0) {
+        timeval tv{};
+        tv.tv_sec = timeout_ms / 1000;
+        tv.tv_usec = (timeout_ms % 1000) * 1000;
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      }
+      return true;
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return false;
+}
+
+bool NetClient::WriteAll(const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd_, data + off, size - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::ReadFrame() {
+  while (true) {
+    // Parse from the front of the buffer once a complete frame is in.
+    if (rbuf_.size() >= kHeaderSize) {
+      const DecodeStatus status =
+          DecodeHeader(rbuf_.data(), rbuf_.size(), &header_);
+      if (status == DecodeStatus::kMalformed) return false;
+      // kUnsupportedVersion from a same-version server never happens; treat
+      // a well-formed foreign-version frame as readable so the caller can
+      // inspect it.
+      if (status != DecodeStatus::kNeedMore &&
+          rbuf_.size() >= kHeaderSize + header_.payload_len) {
+        payload_.assign(
+            rbuf_.begin() + kHeaderSize,
+            rbuf_.begin() + static_cast<ptrdiff_t>(kHeaderSize +
+                                                   header_.payload_len));
+        rbuf_.erase(rbuf_.begin(),
+                    rbuf_.begin() + static_cast<ptrdiff_t>(
+                                        kHeaderSize + header_.payload_len));
+        return true;
+      }
+    }
+    uint8_t chunk[16 * 1024];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout, or error
+  }
+}
+
+bool NetClient::SendQuery(uint32_t m, uint64_t user_id, uint64_t* request_id) {
+  if (fd_ < 0) return false;
+  QueryFrame query;
+  query.request_id = next_request_id_++;
+  query.user_id = user_id;
+  query.m = m;
+  if (request_id != nullptr) *request_id = query.request_id;
+  std::vector<uint8_t> bytes;
+  AppendQuery(query, &bytes);
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+NetClient::Status NetClient::ReadReply(QueryResult* out, uint64_t* request_id) {
+  if (!ReadFrame()) return Status::kIoError;
+  if (header_.type == FrameType::kError) {
+    if (!DecodeError(payload_.data(), payload_.size(), &last_error_)) {
+      return Status::kIoError;
+    }
+    if (request_id != nullptr) *request_id = last_error_.request_id;
+    switch (last_error_.code) {
+      case ErrorCode::kOverloaded: return Status::kOverloaded;
+      case ErrorCode::kDraining: return Status::kDraining;
+      default: return Status::kError;
+    }
+  }
+  if (header_.type != FrameType::kQueryReply) return Status::kIoError;
+  QueryReplyFrame reply;
+  if (!DecodeQueryReply(payload_.data(), payload_.size(), &reply)) {
+    return Status::kIoError;
+  }
+  if (request_id != nullptr) *request_id = reply.request_id;
+  if (out != nullptr) {
+    out->pages = std::move(reply.pages);
+    out->epoch = reply.epoch;
+  }
+  return Status::kOk;
+}
+
+NetClient::Status NetClient::Query(uint32_t m, uint64_t user_id,
+                                   QueryResult* out) {
+  uint64_t sent_id = 0;
+  if (!SendQuery(m, user_id, &sent_id)) return Status::kIoError;
+  uint64_t got_id = 0;
+  const Status status = ReadReply(out, &got_id);
+  // A reply to some other request on an un-pipelined connection means the
+  // stream is desynced.
+  if (status == Status::kOk && got_id != sent_id) return Status::kIoError;
+  return status;
+}
+
+NetClient::Status NetClient::Scrape(std::string* text) {
+  if (fd_ < 0) return Status::kIoError;
+  std::vector<uint8_t> bytes;
+  AppendMetrics(&bytes);
+  if (!WriteAll(bytes.data(), bytes.size())) return Status::kIoError;
+  if (!ReadFrame()) return Status::kIoError;
+  if (header_.type == FrameType::kError &&
+      DecodeError(payload_.data(), payload_.size(), &last_error_)) {
+    return Status::kError;
+  }
+  if (header_.type != FrameType::kMetricsReply) return Status::kIoError;
+  MetricsReplyFrame reply;
+  if (!DecodeMetricsReply(payload_.data(), payload_.size(), &reply)) {
+    return Status::kIoError;
+  }
+  if (text != nullptr) *text = std::move(reply.text);
+  return Status::kOk;
+}
+
+NetClient::Status NetClient::Health(HealthReplyFrame* out) {
+  if (fd_ < 0) return Status::kIoError;
+  std::vector<uint8_t> bytes;
+  AppendHealth(&bytes);
+  if (!WriteAll(bytes.data(), bytes.size())) return Status::kIoError;
+  if (!ReadFrame()) return Status::kIoError;
+  if (header_.type == FrameType::kError &&
+      DecodeError(payload_.data(), payload_.size(), &last_error_)) {
+    return Status::kError;
+  }
+  if (header_.type != FrameType::kHealthReply) return Status::kIoError;
+  HealthReplyFrame reply;
+  if (!DecodeHealthReply(payload_.data(), payload_.size(), &reply)) {
+    return Status::kIoError;
+  }
+  if (out != nullptr) *out = reply;
+  return Status::kOk;
+}
+
+bool NetClient::SendRaw(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) return false;
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+bool NetClient::ReadFrameRaw(FrameHeader* header,
+                             std::vector<uint8_t>* payload) {
+  if (!ReadFrame()) return false;
+  if (header != nullptr) *header = header_;
+  if (payload != nullptr) *payload = payload_;
+  return true;
+}
+
+}  // namespace randrank::net

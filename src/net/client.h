@@ -1,0 +1,81 @@
+#ifndef RANDRANK_NET_CLIENT_H_
+#define RANDRANK_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace randrank::net {
+
+/// Blocking client for the randrank daemon protocol: framing, pipelining,
+/// and reply matching over one TCP connection. Used by the closed-loop
+/// driver (tools/net_client), the socket-path benches (bench/perf_net), and
+/// the end-to-end tests. Not thread-safe — one client per thread.
+class NetClient {
+ public:
+  enum class Status {
+    kOk,
+    kOverloaded,  // server shed the query (ERROR/OVERLOADED); retry later
+    kDraining,    // server refuses new queries (ERROR/DRAINING)
+    kError,       // other ERROR reply (code/message in last_error())
+    kIoError,     // connect/read/write failure or malformed reply; the
+                  // connection is unusable — Close() and reconnect
+  };
+
+  struct QueryResult {
+    std::vector<uint32_t> pages;
+    uint64_t epoch = 0;
+  };
+
+  NetClient() = default;
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects, retrying `retries` times `retry_ms` apart (daemon startup
+  /// races in scripts). `timeout_ms` bounds every subsequent blocking read
+  /// (0 = forever). Returns false when every attempt failed.
+  bool Connect(const std::string& host, uint16_t port, int retries = 0,
+               int retry_ms = 100, int timeout_ms = 10000);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One blocking round-trip: QUERY then its reply.
+  Status Query(uint32_t m, uint64_t user_id, QueryResult* out);
+
+  /// Pipelining halves: send without waiting, then collect replies in
+  /// order. `request_id` (returned by SendQuery) matches `ReadReply`'s.
+  bool SendQuery(uint32_t m, uint64_t user_id, uint64_t* request_id);
+  Status ReadReply(QueryResult* out, uint64_t* request_id);
+
+  /// METRICS round-trip: the daemon's Prometheus exposition text.
+  Status Scrape(std::string* text);
+
+  /// HEALTH round-trip.
+  Status Health(HealthReplyFrame* out);
+
+  /// Writes raw bytes on the wire (protocol-violation tests).
+  bool SendRaw(const std::vector<uint8_t>& bytes);
+  /// Reads whatever frame arrives next; returns false on EOF/timeout.
+  bool ReadFrameRaw(FrameHeader* header, std::vector<uint8_t>* payload);
+
+  const ErrorFrame& last_error() const { return last_error_; }
+
+ private:
+  bool WriteAll(const uint8_t* data, size_t size);
+  /// Blocking read of the next complete frame into header_/payload_.
+  bool ReadFrame();
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::vector<uint8_t> rbuf_;
+  FrameHeader header_;
+  std::vector<uint8_t> payload_;
+  ErrorFrame last_error_;
+};
+
+}  // namespace randrank::net
+
+#endif  // RANDRANK_NET_CLIENT_H_

@@ -1,0 +1,243 @@
+#ifndef RANDRANK_NET_DAEMON_H_
+#define RANDRANK_NET_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.h"
+#include "serve/batch_queue.h"
+#include "serve/sharded_rank_server.h"
+
+namespace randrank::net {
+
+struct NetDaemonOptions {
+  /// Listen address; the default binds loopback only (the daemon speaks an
+  /// unauthenticated binary protocol — put it behind your own perimeter
+  /// before binding wider).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port, readable via port() after Start().
+  uint16_t port = 0;
+  int listen_backlog = 128;
+  /// Connections beyond this are accepted and immediately closed (the
+  /// kernel's backlog already smooths bursts; this caps steady-state fds).
+  size_t max_connections = 1024;
+  /// Admission control: QUERY frames accepted but not yet answered, across
+  /// all connections. At the cap new queries are shed with an immediate
+  /// ERROR/OVERLOADED reply instead of growing the queue — in-flight count
+  /// IS the BatchQueue depth plus the batch being served, so this is the
+  /// queue-depth shed bound. 0 selects 1.
+  size_t max_inflight = 4096;
+  /// Per-query result-count cap; QUERYs asking for more get BAD_FRAME.
+  uint32_t max_query_m = 1024;
+  /// Per-connection write backpressure: while a connection's unsent reply
+  /// bytes exceed the high watermark the daemon stops reading from it (its
+  /// requests sit in the kernel socket buffer, eventually zeroing the
+  /// client's TCP window), resuming below the low watermark. A slow reader
+  /// throttles itself, never the event loop or other connections.
+  size_t write_high_watermark = 1 << 20;
+  size_t write_low_watermark = 1 << 18;
+  /// Graceful-drain deadline: Drain() force-closes whatever is left (slow
+  /// readers that never drained their replies) after this many ms. 0 waits
+  /// forever.
+  uint64_t drain_timeout_ms = 10000;
+  /// Batching front-end knobs, passed through to the internal BatchQueue.
+  /// max_pending is ignored (admission control sheds instead of blocking
+  /// the event loop) and the queue's obs endpoints default to this
+  /// daemon's when unset.
+  BatchQueueOptions queue;
+  /// Observability (optional, borrowed; must outlive the daemon). Counters,
+  /// gauges, and histograms land under `<obs_prefix>/`; the METRICS scrape
+  /// frame answers with PrometheusText over this registry's full snapshot
+  /// (every subsystem sharing the registry is visible over the wire).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
+  std::string obs_prefix = "net";
+};
+
+/// Point-in-time daemon counters (all monotone except active_connections).
+struct NetDaemonStats {
+  uint64_t accepts = 0;
+  uint64_t active_connections = 0;
+  uint64_t queries = 0;
+  uint64_t replies = 0;
+  uint64_t shed_overloaded = 0;
+  uint64_t rejected_draining = 0;
+  uint64_t bad_frames = 0;
+  uint64_t scrapes = 0;
+  uint64_t health_checks = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// Stand-alone network serving daemon: the service boundary in front of
+/// ShardedRankServer. One epoll event loop (its own thread) owns the listen
+/// socket and every connection, speaks the length-prefixed binary protocol
+/// of net/protocol.h, and feeds QUERY frames into an internal BatchQueue —
+/// so the wire path rides the same adaptive batching, and answers are
+/// drawn from the same RCU-pinned ServingView mechanics, as in-process
+/// callers. METRICS frames answer with the Prometheus exposition of the
+/// attached registry ("metrics over the wire"); HEALTH reports epoch,
+/// in-flight depth, and drain state.
+///
+/// Threading:
+///  * The event loop thread does all socket I/O and owns connection
+///    lifetimes. It never blocks on serving — queries are handed to the
+///    BatchQueue's consumer thread via callbacks.
+///  * Reply callbacks run on the queue's consumer thread: they encode into
+///    the connection's outbound buffer (a mutex the event loop only takes
+///    for buffer swaps) and wake the loop through an eventfd. No serving
+///    work happens on the event loop; no socket work happens on the
+///    consumer.
+///  * The writer thread (whoever calls server.Update()) is untouched:
+///    epoch publishes and policy hot-swaps land mid-traffic exactly as for
+///    in-process callers — queries pinned to the old view complete under
+///    it, no query is dropped (tests/net_test.cc exercises continuous
+///    hot-swaps through the socket under TSan).
+///
+/// Overload behavior: admission control bounds accepted-but-unanswered
+/// queries (max_inflight); beyond it QUERYs get an immediate
+/// ERROR/OVERLOADED reply, so a saturated server stays responsive and
+/// clients get an explicit retry signal instead of a hang. Per-connection
+/// write backpressure pauses reading from clients too slow to take their
+/// replies.
+///
+/// Shutdown: Drain() (also the SIGTERM path in tools/randrankd) stops
+/// accepting, answers new QUERYs with ERROR/DRAINING, lets every accepted
+/// query complete and flush, then closes. Stop() is immediate.
+class NetDaemon {
+ public:
+  /// The daemon serves `server` (borrowed; must outlive the daemon). The
+  /// internal BatchQueue is created at Start(), so its consumer context is
+  /// the server's next CreateContext() stream.
+  NetDaemon(ShardedRankServer& server, NetDaemonOptions options = {});
+  ~NetDaemon();
+
+  NetDaemon(const NetDaemon&) = delete;
+  NetDaemon& operator=(const NetDaemon&) = delete;
+
+  /// Binds, listens, and starts the event loop thread. Throws
+  /// std::runtime_error on bind/listen failure.
+  void Start();
+
+  /// The bound port (after Start(); with options.port == 0 this is the
+  /// kernel-assigned ephemeral port).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting connections, reject new queries with
+  /// ERROR/DRAINING, complete and flush every in-flight query, then close
+  /// everything and join. Returns true when everything drained cleanly,
+  /// false when the drain deadline force-closed leftovers. Idempotent;
+  /// concurrent callers are serialized.
+  bool Drain();
+
+  /// Immediate stop: abandon connections (already-accepted queries are
+  /// still served by the queue drain, but replies are not flushed).
+  void Stop();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// Queries accepted but not yet answered.
+  uint64_t inflight() const { return inflight_.load(std::memory_order_acquire); }
+
+  NetDaemonStats stats() const;
+
+ private:
+  struct Connection;
+
+  void Loop();
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// Parses every complete frame in the connection's read buffer; returns
+  /// false when the connection must close (fatal protocol error).
+  bool ParseFrames(const std::shared_ptr<Connection>& conn);
+  void HandleQuery(const std::shared_ptr<Connection>& conn,
+                   const QueryFrame& query);
+  /// Appends an encoded reply (event-loop thread) and flushes.
+  void ReplyNow(const std::shared_ptr<Connection>& conn,
+                const std::vector<uint8_t>& bytes);
+  void SendError(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                 ErrorCode code, const std::string& message);
+  /// Appends an encoded reply from the queue-consumer thread and wakes the
+  /// event loop to flush it.
+  void EnqueueReply(const std::shared_ptr<Connection>& conn,
+                    const std::vector<uint8_t>& bytes);
+  /// Writes as much buffered output as the socket takes; arms/disarms
+  /// EPOLLOUT and read-pause watermarks. Event-loop thread only.
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(int fd);
+  void UpdateEpollInterest(const std::shared_ptr<Connection>& conn);
+  void Wake();
+  /// True when draining and nothing is left to answer or flush.
+  bool DrainComplete();
+  void JoinAndTearDown();
+
+  ShardedRankServer& server_;
+  NetDaemonOptions opts_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::unique_ptr<BatchQueue> queue_;
+  std::thread loop_thread_;
+
+  /// Event-loop-owned connection table.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  /// Connections with replies enqueued by the consumer thread, awaiting an
+  /// event-loop flush.
+  std::mutex flush_mutex_;
+  std::vector<std::shared_ptr<Connection>> flush_list_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> torn_down_{false};
+  std::mutex lifecycle_mutex_;  // serializes Drain/Stop/destructor
+  /// Written by the event-loop thread before it exits, read after join.
+  bool drain_was_clean_ = true;
+
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> active_{0};
+  std::atomic<uint64_t> accepts_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> replies_{0};
+  std::atomic<uint64_t> shed_overloaded_{0};
+  std::atomic<uint64_t> rejected_draining_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> scrapes_{0};
+  std::atomic<uint64_t> health_checks_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  /// Drives 1-in-sample_every net/request span sampling (consumer thread).
+  std::atomic<uint64_t> request_seq_{0};
+
+  /// Registry endpoints, resolved once at construction (null when
+  /// opts_.metrics is null).
+  obs::Counter* accepts_ctr_ = nullptr;
+  obs::Counter* queries_ctr_ = nullptr;
+  obs::Counter* replies_ctr_ = nullptr;
+  obs::Counter* shed_ctr_ = nullptr;
+  obs::Counter* draining_ctr_ = nullptr;
+  obs::Counter* bad_ctr_ = nullptr;
+  obs::Counter* scrapes_ctr_ = nullptr;
+  obs::Counter* health_ctr_ = nullptr;
+  obs::Counter* bytes_read_ctr_ = nullptr;
+  obs::Counter* bytes_written_ctr_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* draining_gauge_ = nullptr;
+  obs::LatencyHistogram* request_hist_ = nullptr;
+  obs::LatencyHistogram* read_hist_ = nullptr;
+  obs::LatencyHistogram* write_hist_ = nullptr;
+  obs::LatencyHistogram* conn_hist_ = nullptr;
+};
+
+}  // namespace randrank::net
+
+#endif  // RANDRANK_NET_DAEMON_H_

@@ -1,0 +1,242 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace randrank::net {
+
+namespace {
+
+// Little-endian scalar append/read. memcpy keeps this alignment-safe; the
+// byte order is explicit so the wire format does not depend on host
+// endianness (asserted byte-for-byte by the protocol tests).
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+/// Appends the 8-byte header. `payload_len` must already be known — the
+/// encoders below reserve the header, write the payload, then backpatch the
+/// length, so they never copy the payload twice.
+void PutHeader(FrameType type, uint32_t payload_len, std::vector<uint8_t>* out) {
+  PutU32(payload_len, out);
+  out->push_back(kMagic);
+  out->push_back(kProtocolVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  out->push_back(0);  // flags
+}
+
+/// RAII-free backpatch helper: remembers where the frame started, writes a
+/// placeholder header, and Finish() fills in the payload length.
+struct FrameWriter {
+  FrameWriter(FrameType type, std::vector<uint8_t>* out)
+      : out(out), start(out->size()) {
+    PutHeader(type, 0, out);
+  }
+  void Finish() {
+    const uint32_t payload_len =
+        static_cast<uint32_t>(out->size() - start - kHeaderSize);
+    (*out)[start + 0] = static_cast<uint8_t>(payload_len);
+    (*out)[start + 1] = static_cast<uint8_t>(payload_len >> 8);
+    (*out)[start + 2] = static_cast<uint8_t>(payload_len >> 16);
+    (*out)[start + 3] = static_cast<uint8_t>(payload_len >> 24);
+  }
+  std::vector<uint8_t>* out;
+  size_t start;
+};
+
+}  // namespace
+
+DecodeStatus DecodeHeader(const uint8_t* data, size_t size, FrameHeader* out) {
+  if (size < kHeaderSize) return DecodeStatus::kNeedMore;
+  out->payload_len = GetU32(data);
+  out->magic = data[4];
+  out->version = data[5];
+  out->type = static_cast<FrameType>(data[6]);
+  out->flags = data[7];
+  if (out->magic != kMagic || out->flags != 0 ||
+      out->payload_len > kMaxPayload) {
+    return DecodeStatus::kMalformed;
+  }
+  if (out->version != kProtocolVersion) {
+    return DecodeStatus::kUnsupportedVersion;
+  }
+  return DecodeStatus::kOk;
+}
+
+void AppendQuery(const QueryFrame& frame, std::vector<uint8_t>* out) {
+  FrameWriter w(FrameType::kQuery, out);
+  PutU64(frame.request_id, out);
+  PutU64(frame.user_id, out);
+  PutU32(frame.m, out);
+  w.Finish();
+}
+
+void AppendQueryReply(const QueryReplyFrame& frame, std::vector<uint8_t>* out) {
+  FrameWriter w(FrameType::kQueryReply, out);
+  PutU64(frame.request_id, out);
+  PutU64(frame.epoch, out);
+  PutU32(static_cast<uint32_t>(frame.pages.size()), out);
+  for (const uint32_t page : frame.pages) PutU32(page, out);
+  w.Finish();
+}
+
+void AppendMetrics(std::vector<uint8_t>* out) {
+  FrameWriter w(FrameType::kMetrics, out);
+  w.Finish();
+}
+
+void AppendMetricsReply(const MetricsReplyFrame& frame,
+                        std::vector<uint8_t>* out) {
+  FrameWriter w(FrameType::kMetricsReply, out);
+  PutU32(static_cast<uint32_t>(frame.text.size()), out);
+  out->insert(out->end(), frame.text.begin(), frame.text.end());
+  w.Finish();
+}
+
+void AppendHealth(std::vector<uint8_t>* out) {
+  FrameWriter w(FrameType::kHealth, out);
+  w.Finish();
+}
+
+void AppendHealthReply(const HealthReplyFrame& frame,
+                       std::vector<uint8_t>* out) {
+  FrameWriter w(FrameType::kHealthReply, out);
+  out->push_back(static_cast<uint8_t>(frame.status));
+  PutU64(frame.epoch, out);
+  PutU64(frame.inflight, out);
+  PutU64(frame.queries, out);
+  w.Finish();
+}
+
+void AppendError(const ErrorFrame& frame, std::vector<uint8_t>* out) {
+  FrameWriter w(FrameType::kError, out);
+  PutU64(frame.request_id, out);
+  PutU16(static_cast<uint16_t>(frame.code), out);
+  PutU32(static_cast<uint32_t>(frame.message.size()), out);
+  out->insert(out->end(), frame.message.begin(), frame.message.end());
+  w.Finish();
+}
+
+bool DecodeQuery(const uint8_t* payload, size_t len, QueryFrame* out) {
+  if (len != 20) return false;
+  out->request_id = GetU64(payload);
+  out->user_id = GetU64(payload + 8);
+  out->m = GetU32(payload + 16);
+  return out->m != 0;
+}
+
+bool DecodeQueryReply(const uint8_t* payload, size_t len,
+                      QueryReplyFrame* out) {
+  if (len < 20) return false;
+  out->request_id = GetU64(payload);
+  out->epoch = GetU64(payload + 8);
+  const uint32_t count = GetU32(payload + 16);
+  if (len != 20 + static_cast<size_t>(count) * 4) return false;
+  out->pages.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->pages[i] = GetU32(payload + 20 + i * 4);
+  }
+  return true;
+}
+
+bool DecodeMetrics(const uint8_t* /*payload*/, size_t len,
+                   MetricsFrame* /*out*/) {
+  return len == 0;
+}
+
+bool DecodeMetricsReply(const uint8_t* payload, size_t len,
+                        MetricsReplyFrame* out) {
+  if (len < 4) return false;
+  const uint32_t text_len = GetU32(payload);
+  if (len != 4 + static_cast<size_t>(text_len)) return false;
+  out->text.assign(reinterpret_cast<const char*>(payload + 4), text_len);
+  return true;
+}
+
+bool DecodeHealth(const uint8_t* /*payload*/, size_t len,
+                  HealthFrame* /*out*/) {
+  return len == 0;
+}
+
+bool DecodeHealthReply(const uint8_t* payload, size_t len,
+                       HealthReplyFrame* out) {
+  if (len != 25) return false;
+  const uint8_t status = payload[0];
+  if (status != static_cast<uint8_t>(HealthStatus::kServing) &&
+      status != static_cast<uint8_t>(HealthStatus::kDraining)) {
+    return false;
+  }
+  out->status = static_cast<HealthStatus>(status);
+  out->epoch = GetU64(payload + 1);
+  out->inflight = GetU64(payload + 9);
+  out->queries = GetU64(payload + 17);
+  return true;
+}
+
+bool DecodeError(const uint8_t* payload, size_t len, ErrorFrame* out) {
+  if (len < 14) return false;
+  out->request_id = GetU64(payload);
+  const uint16_t code = GetU16(payload + 8);
+  if (code < static_cast<uint16_t>(ErrorCode::kBadFrame) ||
+      code > static_cast<uint16_t>(ErrorCode::kDraining)) {
+    return false;
+  }
+  out->code = static_cast<ErrorCode>(code);
+  const uint32_t message_len = GetU32(payload + 10);
+  if (len != 14 + static_cast<size_t>(message_len)) return false;
+  out->message.assign(reinterpret_cast<const char*>(payload + 14),
+                      message_len);
+  return true;
+}
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery: return "QUERY";
+    case FrameType::kMetrics: return "METRICS";
+    case FrameType::kHealth: return "HEALTH";
+    case FrameType::kQueryReply: return "QUERY_REPLY";
+    case FrameType::kMetricsReply: return "METRICS_REPLY";
+    case FrameType::kHealthReply: return "HEALTH_REPLY";
+    case FrameType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "BAD_FRAME";
+    case ErrorCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case ErrorCode::kBadType: return "BAD_TYPE";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kDraining: return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace randrank::net

@@ -20,6 +20,7 @@
 #include "exp/live_metrics.h"
 #include "exp/page_lifecycle.h"
 #include "exp/traffic_split.h"
+#include "obs/metrics.h"
 #include "serve/sharded_rank_server.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -393,6 +394,35 @@ TEST(ExperimentManagerTest, ValidatesArmsAndSplit) {
   two.push_back({"b", MakePromotionPolicy(RankPromotionConfig::None())});
   EXPECT_THROW(ExperimentManager(community, std::move(two), bad_split),
                std::invalid_argument);
+}
+
+// Regression: each arm's server owns e.g. exp/arm:X/queries as a counter,
+// and the registry rejects re-registering a name as a different kind — so
+// the epoch's live gauges must land under their own /live segment, or an
+// instrumented experiment throws on its first publish.
+TEST(ExperimentManagerTest, MetricsRegistryAttachesWithoutKindCollisions) {
+  CommunityParams community = CommunityParams::Default();
+  community.n = 400;
+  community.u = 100;
+  community.m = 20;
+  obs::MetricsRegistry registry;
+  std::vector<ArmSpec> arms;
+  arms.push_back({"control", MakePromotionPolicy(RankPromotionConfig::None())});
+  arms.push_back(
+      {"treatment",
+       MakePromotionPolicy(RankPromotionConfig::Selective(0.1, 2))});
+  ExperimentOptions opts;
+  opts.shards = 2;
+  opts.queries_per_epoch = 200;
+  opts.metrics = &registry;
+  ExperimentManager experiment(community, std::move(arms), opts);
+  ASSERT_NO_THROW(experiment.RunEpoch());
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.count("exp/arm:treatment/queries"), 1u);
+  EXPECT_EQ(snap.gauges.count("exp/arm:treatment/live/queries"), 1u);
+  EXPECT_EQ(snap.gauges.count("exp/arm:treatment/split"), 1u);
+  EXPECT_EQ(snap.gauges.count("exp/arm:control/live/clicks"), 1u);
 }
 
 // The full live loop: split traffic, per-arm feedback isolation, shared

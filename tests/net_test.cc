@@ -1,0 +1,695 @@
+// Network layer tests: wire-protocol round-trips and malformed-input
+// rejection (the mechanical check behind docs/PROTOCOL.md), and the daemon's
+// service guarantees through real loopback sockets — bit-equivalence with
+// the in-process serve path, explicit OVERLOADED shedding, graceful drain,
+// and epoch publishes / policy hot-swaps under live connections (the CI TSan
+// job runs this binary for the race coverage).
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/policy/policy_factory.h"
+#include "core/policy/promotion_policy.h"
+#include "core/ranking_policy.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "obs/metrics.h"
+#include "serve/sharded_rank_server.h"
+#include "util/rng.h"
+
+#include "serve_fixture.h"
+
+namespace randrank::net {
+namespace {
+
+using testutil::Fixture;
+
+// --- Protocol round-trips -------------------------------------------------
+
+// Every frame type in kAllFrameTypes encodes and decodes back to itself.
+// The switch is exhaustive over the array, so adding a frame type to
+// protocol.h without extending this test fails here.
+TEST(ProtocolTest, RoundTripsEveryFrameType) {
+  for (const FrameType type : kAllFrameTypes) {
+    std::vector<uint8_t> bytes;
+    switch (type) {
+      case FrameType::kQuery: {
+        QueryFrame in;
+        in.request_id = 0x0123456789abcdefULL;
+        in.user_id = 42;
+        in.m = 10;
+        AppendQuery(in, &bytes);
+        FrameHeader header;
+        ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+                  DecodeStatus::kOk);
+        ASSERT_EQ(header.type, type);
+        ASSERT_EQ(bytes.size(), kHeaderSize + header.payload_len);
+        QueryFrame out;
+        ASSERT_TRUE(DecodeQuery(bytes.data() + kHeaderSize, header.payload_len,
+                                &out));
+        EXPECT_EQ(out.request_id, in.request_id);
+        EXPECT_EQ(out.user_id, in.user_id);
+        EXPECT_EQ(out.m, in.m);
+        break;
+      }
+      case FrameType::kQueryReply: {
+        QueryReplyFrame in;
+        in.request_id = 7;
+        in.epoch = 12;
+        in.pages = {3, 1, 4, 1, 5};
+        AppendQueryReply(in, &bytes);
+        FrameHeader header;
+        ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+                  DecodeStatus::kOk);
+        ASSERT_EQ(header.type, type);
+        QueryReplyFrame out;
+        ASSERT_TRUE(DecodeQueryReply(bytes.data() + kHeaderSize,
+                                     header.payload_len, &out));
+        EXPECT_EQ(out.request_id, in.request_id);
+        EXPECT_EQ(out.epoch, in.epoch);
+        EXPECT_EQ(out.pages, in.pages);
+        break;
+      }
+      case FrameType::kMetrics: {
+        AppendMetrics(&bytes);
+        FrameHeader header;
+        ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+                  DecodeStatus::kOk);
+        ASSERT_EQ(header.type, type);
+        EXPECT_EQ(header.payload_len, 0u);
+        MetricsFrame out;
+        EXPECT_TRUE(DecodeMetrics(bytes.data() + kHeaderSize, 0, &out));
+        break;
+      }
+      case FrameType::kMetricsReply: {
+        MetricsReplyFrame in;
+        in.text = "# TYPE net_queries_total counter\nnet_queries_total 5\n";
+        AppendMetricsReply(in, &bytes);
+        FrameHeader header;
+        ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+                  DecodeStatus::kOk);
+        ASSERT_EQ(header.type, type);
+        MetricsReplyFrame out;
+        ASSERT_TRUE(DecodeMetricsReply(bytes.data() + kHeaderSize,
+                                       header.payload_len, &out));
+        EXPECT_EQ(out.text, in.text);
+        break;
+      }
+      case FrameType::kHealth: {
+        AppendHealth(&bytes);
+        FrameHeader header;
+        ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+                  DecodeStatus::kOk);
+        ASSERT_EQ(header.type, type);
+        EXPECT_EQ(header.payload_len, 0u);
+        HealthFrame out;
+        EXPECT_TRUE(DecodeHealth(bytes.data() + kHeaderSize, 0, &out));
+        break;
+      }
+      case FrameType::kHealthReply: {
+        HealthReplyFrame in;
+        in.status = HealthStatus::kDraining;
+        in.epoch = 99;
+        in.inflight = 3;
+        in.queries = 1234;
+        AppendHealthReply(in, &bytes);
+        FrameHeader header;
+        ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+                  DecodeStatus::kOk);
+        ASSERT_EQ(header.type, type);
+        HealthReplyFrame out;
+        ASSERT_TRUE(DecodeHealthReply(bytes.data() + kHeaderSize,
+                                      header.payload_len, &out));
+        EXPECT_EQ(out.status, in.status);
+        EXPECT_EQ(out.epoch, in.epoch);
+        EXPECT_EQ(out.inflight, in.inflight);
+        EXPECT_EQ(out.queries, in.queries);
+        break;
+      }
+      case FrameType::kError: {
+        ErrorFrame in;
+        in.request_id = 21;
+        in.code = ErrorCode::kOverloaded;
+        in.message = "admission control";
+        AppendError(in, &bytes);
+        FrameHeader header;
+        ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+                  DecodeStatus::kOk);
+        ASSERT_EQ(header.type, type);
+        ErrorFrame out;
+        ASSERT_TRUE(DecodeError(bytes.data() + kHeaderSize, header.payload_len,
+                                &out));
+        EXPECT_EQ(out.request_id, in.request_id);
+        EXPECT_EQ(out.code, in.code);
+        EXPECT_EQ(out.message, in.message);
+        break;
+      }
+    }
+    ASSERT_FALSE(bytes.empty()) << FrameTypeName(type);
+  }
+}
+
+// The exact on-wire bytes of a QUERY, pinning the little-endian layout
+// documented in docs/PROTOCOL.md independent of host byte order.
+TEST(ProtocolTest, QueryWireLayoutIsLittleEndian) {
+  QueryFrame frame;
+  frame.request_id = 0x1122334455667788ULL;
+  frame.user_id = 0x99;
+  frame.m = 0x0102;
+  std::vector<uint8_t> bytes;
+  AppendQuery(frame, &bytes);
+  const uint8_t expected[] = {
+      20,   0,    0,    0,     // payload_len = 20
+      0x52,                    // magic 'R'
+      1,                       // version
+      0x01,                    // type QUERY
+      0,                       // flags
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // request_id LE
+      0x99, 0,    0,    0,    0,    0,    0,    0,     // user_id LE
+      0x02, 0x01, 0,    0,     // m LE
+  };
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(bytes.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(ProtocolTest, HeaderRejectsMalformedAndForeignVersions) {
+  std::vector<uint8_t> bytes;
+  AppendHealth(&bytes);
+  FrameHeader header;
+
+  EXPECT_EQ(DecodeHeader(bytes.data(), kHeaderSize - 1, &header),
+            DecodeStatus::kNeedMore);
+
+  std::vector<uint8_t> bad = bytes;
+  bad[4] = 0x51;  // wrong magic
+  EXPECT_EQ(DecodeHeader(bad.data(), bad.size(), &header),
+            DecodeStatus::kMalformed);
+
+  bad = bytes;
+  bad[7] = 1;  // nonzero flags
+  EXPECT_EQ(DecodeHeader(bad.data(), bad.size(), &header),
+            DecodeStatus::kMalformed);
+
+  bad = bytes;
+  bad[3] = 0xFF;  // payload_len far beyond kMaxPayload
+  EXPECT_EQ(DecodeHeader(bad.data(), bad.size(), &header),
+            DecodeStatus::kMalformed);
+
+  bad = bytes;
+  bad[5] = kProtocolVersion + 1;
+  EXPECT_EQ(DecodeHeader(bad.data(), bad.size(), &header),
+            DecodeStatus::kUnsupportedVersion);
+  EXPECT_EQ(header.version, kProtocolVersion + 1);  // still parsed
+}
+
+TEST(ProtocolTest, PayloadDecodersRejectMalformedInput) {
+  // QUERY: wrong length, zero m, trailing bytes.
+  QueryFrame query;
+  {
+    std::vector<uint8_t> bytes;
+    AppendQuery(QueryFrame{1, 2, 3}, &bytes);
+    const uint8_t* payload = bytes.data() + kHeaderSize;
+    EXPECT_TRUE(DecodeQuery(payload, 20, &query));
+    EXPECT_FALSE(DecodeQuery(payload, 19, &query));
+    EXPECT_FALSE(DecodeQuery(payload, 21, &query));
+  }
+  {
+    std::vector<uint8_t> bytes;
+    AppendQuery(QueryFrame{1, 2, 0}, &bytes);  // m == 0 is malformed
+    EXPECT_FALSE(DecodeQuery(bytes.data() + kHeaderSize, 20, &query));
+  }
+
+  // QUERY_REPLY: count must match the remaining bytes exactly.
+  {
+    QueryReplyFrame reply;
+    reply.pages = {1, 2, 3};
+    std::vector<uint8_t> bytes;
+    AppendQueryReply(reply, &bytes);
+    uint8_t* payload = bytes.data() + kHeaderSize;
+    const size_t len = bytes.size() - kHeaderSize;
+    QueryReplyFrame out;
+    EXPECT_TRUE(DecodeQueryReply(payload, len, &out));
+    EXPECT_FALSE(DecodeQueryReply(payload, len - 4, &out));  // truncated
+    payload[16] += 1;  // count says 4, only 3 present
+    EXPECT_FALSE(DecodeQueryReply(payload, len, &out));
+  }
+
+  // METRICS / HEALTH requests must be empty.
+  {
+    MetricsFrame metrics;
+    HealthFrame health;
+    const uint8_t junk[1] = {0};
+    EXPECT_FALSE(DecodeMetrics(junk, 1, &metrics));
+    EXPECT_FALSE(DecodeHealth(junk, 1, &health));
+  }
+
+  // METRICS_REPLY: text_len must match exactly.
+  {
+    MetricsReplyFrame reply;
+    reply.text = "abc";
+    std::vector<uint8_t> bytes;
+    AppendMetricsReply(reply, &bytes);
+    const uint8_t* payload = bytes.data() + kHeaderSize;
+    const size_t len = bytes.size() - kHeaderSize;
+    MetricsReplyFrame out;
+    EXPECT_TRUE(DecodeMetricsReply(payload, len, &out));
+    EXPECT_FALSE(DecodeMetricsReply(payload, len - 1, &out));
+    EXPECT_FALSE(DecodeMetricsReply(payload, 3, &out));
+  }
+
+  // HEALTH_REPLY: length 25 and a known status byte.
+  {
+    HealthReplyFrame reply;
+    std::vector<uint8_t> bytes;
+    AppendHealthReply(reply, &bytes);
+    uint8_t* payload = bytes.data() + kHeaderSize;
+    HealthReplyFrame out;
+    EXPECT_TRUE(DecodeHealthReply(payload, 25, &out));
+    EXPECT_FALSE(DecodeHealthReply(payload, 24, &out));
+    payload[0] = 99;  // unknown HealthStatus
+    EXPECT_FALSE(DecodeHealthReply(payload, 25, &out));
+  }
+
+  // ERROR: out-of-range code, message_len mismatch.
+  {
+    ErrorFrame frame;
+    frame.code = ErrorCode::kDraining;
+    frame.message = "x";
+    std::vector<uint8_t> bytes;
+    AppendError(frame, &bytes);
+    uint8_t* payload = bytes.data() + kHeaderSize;
+    const size_t len = bytes.size() - kHeaderSize;
+    ErrorFrame out;
+    EXPECT_TRUE(DecodeError(payload, len, &out));
+    EXPECT_FALSE(DecodeError(payload, len - 1, &out));
+    payload[8] = 0;  // code 0 is reserved/invalid
+    EXPECT_FALSE(DecodeError(payload, len, &out));
+  }
+}
+
+// Mutation fuzz: random single-byte corruptions of valid frames, and pure
+// garbage, must always parse-or-reject — never crash or over-read (ASan/TSan
+// builds give this teeth).
+TEST(ProtocolTest, FuzzedInputParsesOrRejects) {
+  Rng rng(2026);
+  std::vector<uint8_t> valid;
+  QueryReplyFrame reply;
+  reply.request_id = 5;
+  reply.pages = {10, 20, 30, 40};
+  AppendQueryReply(reply, &valid);
+
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<uint8_t> bytes = valid;
+    const size_t flips = 1 + rng.NextIndex(4);
+    for (size_t f = 0; f < flips; ++f) {
+      bytes[rng.NextIndex(bytes.size())] =
+          static_cast<uint8_t>(rng.NextIndex(256));
+    }
+    FrameHeader header;
+    const DecodeStatus status = DecodeHeader(bytes.data(), bytes.size(),
+                                             &header);
+    if (status != DecodeStatus::kOk) continue;
+    if (bytes.size() < kHeaderSize + header.payload_len) continue;
+    const uint8_t* payload = bytes.data() + kHeaderSize;
+    const size_t len = header.payload_len;
+    // Whatever the (possibly corrupted) type claims, decoding must stay in
+    // bounds; the return value is free to be either.
+    QueryFrame q;
+    QueryReplyFrame qr;
+    MetricsFrame mf;
+    MetricsReplyFrame mr;
+    HealthFrame hf;
+    HealthReplyFrame hr;
+    ErrorFrame ef;
+    switch (header.type) {
+      case FrameType::kQuery: DecodeQuery(payload, len, &q); break;
+      case FrameType::kQueryReply: DecodeQueryReply(payload, len, &qr); break;
+      case FrameType::kMetrics: DecodeMetrics(payload, len, &mf); break;
+      case FrameType::kMetricsReply:
+        DecodeMetricsReply(payload, len, &mr);
+        break;
+      case FrameType::kHealth: DecodeHealth(payload, len, &hf); break;
+      case FrameType::kHealthReply: DecodeHealthReply(payload, len, &hr); break;
+      case FrameType::kError: DecodeError(payload, len, &ef); break;
+      default: break;  // unknown type: length-skippable by design
+    }
+  }
+
+  // Pure garbage headers.
+  for (int iter = 0; iter < 20000; ++iter) {
+    uint8_t garbage[kHeaderSize];
+    for (uint8_t& b : garbage) b = static_cast<uint8_t>(rng.NextIndex(256));
+    FrameHeader header;
+    DecodeHeader(garbage, sizeof(garbage), &header);
+  }
+}
+
+// --- Daemon over loopback sockets -----------------------------------------
+
+struct DaemonHarness {
+  explicit DaemonHarness(size_t n = 2000, NetDaemonOptions options = {},
+                         uint64_t seed = 5)
+      : fixture(n, 50, seed) {
+    ServeOptions sopts;
+    sopts.shards = 4;
+    sopts.seed = 11;
+    server = std::make_unique<ShardedRankServer>(
+        RankPromotionConfig::Selective(0.3, 2), n, sopts);
+    server->Update(fixture.popularity, fixture.zero, fixture.birth);
+    daemon = std::make_unique<NetDaemon>(*server, options);
+    daemon->Start();
+  }
+
+  Fixture fixture;
+  std::unique_ptr<ShardedRankServer> server;
+  std::unique_ptr<NetDaemon> daemon;
+};
+
+// A query through the socket is answered bit-identically to the in-process
+// serve path: the daemon's BatchQueue consumer context is the server's next
+// CreateContext() Rng stream, and ServeBatch == sequential ServeTopM. A
+// reference server built identically answers the same m-sequence in
+// process; the wire adds framing, not distribution drift.
+TEST(NetDaemonTest, SocketRepliesAreBitIdenticalToInProcess) {
+  const size_t kN = 2000;
+  Fixture fixture(kN, 50);
+
+  ServeOptions sopts;
+  sopts.shards = 4;
+  sopts.seed = 11;
+  ShardedRankServer reference(RankPromotionConfig::Selective(0.3, 2), kN,
+                              sopts);
+  reference.Update(fixture.popularity, fixture.zero, fixture.birth);
+  auto ref_ctx = reference.CreateContext();
+
+  DaemonHarness harness(kN);
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+
+  Rng rng(99);
+  for (int q = 0; q < 50; ++q) {
+    const size_t m = 1 + rng.NextIndex(20);
+    std::vector<uint32_t> expected;
+    reference.ServeTopM(ref_ctx, m, &expected);
+
+    NetClient::QueryResult result;
+    ASSERT_EQ(client.Query(static_cast<uint32_t>(m), q, &result),
+              NetClient::Status::kOk);
+    EXPECT_EQ(result.epoch, 1u);
+    ASSERT_EQ(result.pages, expected) << "diverged at query " << q;
+  }
+  EXPECT_TRUE(harness.daemon->Drain());
+}
+
+// Flooding past max_inflight gets explicit OVERLOADED errors, promptly —
+// never a hang, never a dropped frame. Deadline batching holds the first
+// batch in service, so the pipelined flood deterministically overruns the
+// tiny in-flight cap.
+TEST(NetDaemonTest, OverloadShedsWithExplicitReply) {
+  NetDaemonOptions options;
+  options.max_inflight = 4;
+  options.queue.max_batch = 64;
+  options.queue.max_delay_us = 50000;
+  DaemonHarness harness(2000, options);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10, 100,
+                             10000));
+  const int kFlood = 64;
+  for (int q = 0; q < kFlood; ++q) {
+    uint64_t id = 0;
+    ASSERT_TRUE(client.SendQuery(10, q, &id));
+  }
+  int ok = 0;
+  int overloaded = 0;
+  for (int q = 0; q < kFlood; ++q) {
+    NetClient::QueryResult result;
+    const NetClient::Status status = client.ReadReply(&result, nullptr);
+    if (status == NetClient::Status::kOk) {
+      ++ok;
+      EXPECT_EQ(result.pages.size(), 10u);
+    } else {
+      ASSERT_EQ(status, NetClient::Status::kOverloaded) << "at reply " << q;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kFlood);
+  EXPECT_GE(overloaded, 1);
+  EXPECT_GE(ok, 1);
+  const NetDaemonStats stats = harness.daemon->stats();
+  EXPECT_EQ(stats.shed_overloaded, static_cast<uint64_t>(overloaded));
+  EXPECT_TRUE(harness.daemon->Drain());
+}
+
+// Graceful drain: queries already accepted complete and flush; a query
+// arriving mid-drain gets ERROR/DRAINING; the connection then sees EOF.
+TEST(NetDaemonTest, DrainCompletesInFlightAndRejectsNew) {
+  NetDaemonOptions options;
+  options.queue.max_batch = 64;
+  options.queue.max_delay_us = 200000;  // holds the batch while we drain
+  DaemonHarness harness(2000, options);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+  const int kInFlight = 8;
+  for (int q = 0; q < kInFlight; ++q) {
+    uint64_t id = 0;
+    ASSERT_TRUE(client.SendQuery(10, q, &id));
+  }
+  // Wait until the daemon has admitted them (they sit in the deadline
+  // batch), then drain concurrently.
+  while (harness.daemon->inflight() <
+         static_cast<uint64_t>(kInFlight)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<bool> drain_clean{false};
+  std::thread drainer(
+      [&] { drain_clean.store(harness.daemon->Drain()); });
+  while (!harness.daemon->draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  uint64_t late_id = 0;
+  ASSERT_TRUE(client.SendQuery(10, 999, &late_id));
+
+  int ok = 0;
+  int draining = 0;
+  for (int q = 0; q < kInFlight + 1; ++q) {
+    NetClient::QueryResult result;
+    uint64_t id = 0;
+    const NetClient::Status status = client.ReadReply(&result, &id);
+    if (status == NetClient::Status::kOk) {
+      ++ok;
+      EXPECT_EQ(result.pages.size(), 10u);
+    } else {
+      ASSERT_EQ(status, NetClient::Status::kDraining);
+      EXPECT_EQ(id, late_id);
+      ++draining;
+    }
+  }
+  EXPECT_EQ(ok, kInFlight);    // every accepted query completed
+  EXPECT_EQ(draining, 1);      // the late one was rejected, not dropped
+  drainer.join();
+  EXPECT_TRUE(drain_clean.load());
+  // The daemon closed everything after the clean drain.
+  EXPECT_FALSE(client.ReadFrameRaw(nullptr, nullptr));
+}
+
+// Epoch publishes and policy hot-swaps land under live socket traffic with
+// zero dropped or failed queries (the TSan job's race case): a writer
+// thread republishes with an alternating policy while client threads hammer
+// the socket.
+TEST(NetDaemonTest, HotSwapAndPublishUnderLiveConnections) {
+  DaemonHarness harness(2000);
+  auto selective =
+      MakePromotionPolicy(RankPromotionConfig::Selective(0.3, 2));
+  auto uniform = MakePromotionPolicy(RankPromotionConfig::Uniform(0.2, 2));
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (int e = 0; e < 40; ++e) {
+      harness.server->Update(harness.fixture.popularity, harness.fixture.zero,
+                             harness.fixture.birth,
+                             (e % 2 == 0) ? uniform : selective);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    writer_done.store(true);
+  });
+
+  const int kClients = 2;
+  std::vector<std::thread> clients;
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> max_epoch{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", harness.daemon->port(), 10)) {
+        failed.fetch_add(1);
+        return;
+      }
+      uint64_t queries = 0;
+      while (!writer_done.load() || queries < 100) {
+        NetClient::QueryResult result;
+        if (client.Query(10, c * 1000 + queries, &result) !=
+                NetClient::Status::kOk ||
+            result.pages.size() != 10) {
+          failed.fetch_add(1);
+          return;
+        }
+        uint64_t seen = max_epoch.load();
+        while (result.epoch > seen &&
+               !max_epoch.compare_exchange_weak(seen, result.epoch)) {
+        }
+        ++queries;
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  writer.join();
+
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_GE(served.load(), static_cast<uint64_t>(kClients) * 100);
+  EXPECT_GT(max_epoch.load(), 1u);  // replies observed post-swap epochs
+  EXPECT_TRUE(harness.daemon->Drain());
+  const NetDaemonStats stats = harness.daemon->stats();
+  EXPECT_EQ(stats.replies, served.load());
+  EXPECT_EQ(stats.shed_overloaded, 0u);
+}
+
+// METRICS answers the registry's Prometheus exposition; HEALTH reports
+// serving status, epoch, and reply count.
+TEST(NetDaemonTest, MetricsScrapeAndHealthOverTheWire) {
+  obs::MetricsRegistry registry;
+  NetDaemonOptions options;
+  options.metrics = &registry;
+  DaemonHarness harness(2000, options);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+  NetClient::QueryResult result;
+  ASSERT_EQ(client.Query(10, 1, &result), NetClient::Status::kOk);
+
+  std::string text;
+  ASSERT_EQ(client.Scrape(&text), NetClient::Status::kOk);
+  EXPECT_NE(text.find("# TYPE net_queries_total counter"), std::string::npos);
+  EXPECT_NE(text.find("net_replies_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE net_request_ns histogram"), std::string::npos);
+  // Counter exposition names get a "_total" suffix appended to the
+  // sanitized registry name (so queue/queries_total doubles up).
+  EXPECT_NE(text.find("# TYPE queue_queries_total_total counter"),
+            std::string::npos);
+
+  HealthReplyFrame health;
+  ASSERT_EQ(client.Health(&health), NetClient::Status::kOk);
+  EXPECT_EQ(health.status, HealthStatus::kServing);
+  EXPECT_EQ(health.epoch, 1u);
+  EXPECT_EQ(health.queries, 1u);
+  EXPECT_TRUE(harness.daemon->Drain());
+}
+
+// Protocol violations against the live daemon: garbage gets ERROR/BAD_FRAME
+// then close; a foreign version gets ERROR/UNSUPPORTED_VERSION then close;
+// an unknown-but-well-framed type gets ERROR/BAD_TYPE and the connection
+// survives.
+TEST(NetDaemonTest, ViolationsGetExplicitErrorsNotHangs) {
+  DaemonHarness harness(2000);
+
+  {  // Garbage: bad magic is fatal.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+    ASSERT_TRUE(client.SendRaw({'G', 'E', 'T', ' ', '/', ' ', 'H', 'T'}));
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadFrameRaw(&header, &payload));
+    ASSERT_EQ(header.type, FrameType::kError);
+    ErrorFrame error;
+    ASSERT_TRUE(DecodeError(payload.data(), payload.size(), &error));
+    EXPECT_EQ(error.code, ErrorCode::kBadFrame);
+    EXPECT_FALSE(client.ReadFrameRaw(nullptr, nullptr));  // then EOF
+  }
+
+  {  // Foreign version: rejection-based negotiation.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+    std::vector<uint8_t> bytes;
+    AppendHealth(&bytes);
+    bytes[5] = kProtocolVersion + 1;
+    ASSERT_TRUE(client.SendRaw(bytes));
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadFrameRaw(&header, &payload));
+    ASSERT_EQ(header.type, FrameType::kError);
+    ErrorFrame error;
+    ASSERT_TRUE(DecodeError(payload.data(), payload.size(), &error));
+    EXPECT_EQ(error.code, ErrorCode::kUnsupportedVersion);
+    EXPECT_NE(error.message.find(std::to_string(kProtocolVersion)),
+              std::string::npos);
+    EXPECT_FALSE(client.ReadFrameRaw(nullptr, nullptr));
+  }
+
+  {  // Unknown type with a valid header: skippable, connection survives.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+    std::vector<uint8_t> bytes;
+    AppendHealth(&bytes);
+    bytes[6] = 0x42;  // no such FrameType
+    ASSERT_TRUE(client.SendRaw(bytes));
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadFrameRaw(&header, &payload));
+    ASSERT_EQ(header.type, FrameType::kError);
+    ErrorFrame error;
+    ASSERT_TRUE(DecodeError(payload.data(), payload.size(), &error));
+    EXPECT_EQ(error.code, ErrorCode::kBadType);
+
+    NetClient::QueryResult result;  // still serving this connection
+    EXPECT_EQ(client.Query(10, 1, &result), NetClient::Status::kOk);
+  }
+
+  {  // Bad QUERY payload (m == 0): error, connection survives.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+    std::vector<uint8_t> bytes;
+    AppendQuery(QueryFrame{1, 2, 3}, &bytes);
+    bytes[kHeaderSize + 16] = 0;  // m -> 0
+    ASSERT_TRUE(client.SendRaw(bytes));
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadFrameRaw(&header, &payload));
+    ASSERT_EQ(header.type, FrameType::kError);
+    ErrorFrame error;
+    ASSERT_TRUE(DecodeError(payload.data(), payload.size(), &error));
+    EXPECT_EQ(error.code, ErrorCode::kBadFrame);
+    NetClient::QueryResult result;
+    EXPECT_EQ(client.Query(10, 1, &result), NetClient::Status::kOk);
+  }
+
+  {  // m beyond the server's cap: per-request BAD_FRAME with the id echoed.
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+    std::vector<uint8_t> bytes;
+    AppendQuery(QueryFrame{77, 1, 100000}, &bytes);
+    ASSERT_TRUE(client.SendRaw(bytes));
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadFrameRaw(&header, &payload));
+    ASSERT_EQ(header.type, FrameType::kError);
+    ErrorFrame error;
+    ASSERT_TRUE(DecodeError(payload.data(), payload.size(), &error));
+    EXPECT_EQ(error.code, ErrorCode::kBadFrame);
+    EXPECT_EQ(error.request_id, 77u);
+  }
+  EXPECT_TRUE(harness.daemon->Drain());
+}
+
+}  // namespace
+}  // namespace randrank::net

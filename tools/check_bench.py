@@ -27,13 +27,19 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
     QPS ratio (the on point's qps_vs_off, the best pairwise on/off ratio
     over alternating reps) under min_obs_qps_ratio — the observability
     layer's <= 5% overhead acceptance criterion, gated hardware-
-    independently like the other within-run ratios.
+    independently like the other within-run ratios,
+  * a missing perf_net point (the net list records the socket-vs-in-process
+    coverage), or a net/socket point without a positive network_tax ratio
+    against a positive inprocess_qps — the daemon's wire-cost measurement
+    must stay measured, not just present.
 
 Absolute QPS varies across runner hardware, so baseline values are
 recorded deliberately low (see --headroom at --update time) and the gate
-only fires on large relative drops. Refresh the baseline with:
+only fires on large relative drops. The smoke capture concatenates
+perf_serve and perf_net (one JSONL feed, disjoint bench names). Refresh
+the baseline with:
 
-    perf_serve --smoke | grep '^{' > smoke.jsonl
+    { perf_serve --smoke; perf_net --smoke; } | grep '^{' > smoke.jsonl
     tools/check_bench.py smoke.jsonl --update
 
 Usage:
@@ -202,6 +208,33 @@ def check(records, baseline, tolerance):
                 f"(p50_us={p50}, swap_p50_us={swap_p50})"
             )
 
+    # Network-tax coverage: the perf_net points must be present, and each
+    # socket point must carry the within-run network_tax ratio against a
+    # positive in-process baseline (a run that lost the socket path, or the
+    # baseline it is measured against, must not pass silently). The ratio is
+    # hardware-independent; absolute socket QPS is gated by the floors above
+    # like any other bench.
+    for name in baseline.get("net", []):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: net record missing from run")
+            rows.append((name, None, None, None, "MISSING"))
+            continue
+        if name.startswith("net/socket"):
+            tax = record.get("network_tax", 0.0)
+            inproc = record.get("inprocess_qps", 0.0)
+            ok = tax > 0.0 and inproc > 0.0
+            rows.append((f"{name} network_tax", tax, None, None,
+                         "ok" if ok else "MISSING"))
+            if not ok:
+                failures.append(
+                    f"{name}: network_tax/inprocess_qps missing or "
+                    f"non-positive (network_tax={tax}, "
+                    f"inprocess_qps={inproc})"
+                )
+        else:
+            rows.append((name, record.get("qps"), None, None, "ok"))
+
     # Policy-sweep coverage: every ranking family the baseline records must
     # still emit at least one serve/policy: point (a family silently dropped
     # from the sweep is a gate failure, like a shrunk sweep).
@@ -294,6 +327,9 @@ def update_baseline(records, path, tolerance, headroom):
         ),
         "epoch_publish": sorted(
             name for name in records if name.startswith("serve/epoch_publish")
+        ),
+        "net": sorted(
+            name for name in records if name.startswith("net/")
         ),
         "policy_families": sorted(
             {policy_family(name) for name in records} - {None}

@@ -1,0 +1,156 @@
+// dump_metrics: exercise every instrumented subsystem against one
+// MetricsRegistry and print the registered metric names, one per line:
+//
+//   counter net/accepts
+//   gauge serve/epoch
+//   histogram queue/wait_ns
+//   ...
+//
+// This is the live inventory docs/METRICS.md documents; tools/lint_docs.py
+// --metrics diffs this output against the doc's tables (with <...>
+// placeholders for per-instance segments like policy families and arm
+// names), so a metric added in code without a doc row — or documented but
+// no longer registered — fails CI.
+//
+//   ./build/tools/dump_metrics            # one "kind name" line per metric
+//   ./build/tools/dump_metrics --values   # append current values
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/community.h"
+#include "core/policy/policy_factory.h"
+#include "core/ranking_policy.h"
+#include "exp/experiment_manager.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/batch_queue.h"
+#include "serve/feedback.h"
+#include "serve/sharded_rank_server.h"
+#include "util/rng.h"
+
+namespace {
+
+/// Publishes an epoch and serves a few queries so the lazily-registered
+/// serve metrics (per-family latency histograms) appear.
+void ExerciseServer(randrank::ShardedRankServer& server,
+                    randrank::ServingPageState& state, randrank::Rng& rng) {
+  server.Update(state.popularity, state.zero_awareness, state.birth_step);
+  auto ctx = server.CreateContext();
+  std::vector<uint32_t> out;
+  for (int q = 0; q < 8; ++q) server.ServeTopM(ctx, 10, &out);
+  randrank::FoldVisits(server.DrainVisits(), &state, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace randrank;
+
+  bool values = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--values") == 0) values = true;
+  }
+
+  obs::MetricsRegistry registry;
+  obs::TraceOptions topts;
+  topts.sample_every = 1;
+  obs::TraceLog trace(topts);
+
+  CommunityParams community = CommunityParams::Default();
+  community.n = 400;
+  community.u = 100;
+  community.m = 20;
+
+  Rng rng(7);
+
+  // Serve layer, cached path (the default "serve" prefix): promotion-family
+  // histogram under latency_ns/cached/.
+  {
+    ServingPageState state = MakeServingPageState(community, rng);
+    ServeOptions opts;
+    opts.shards = 2;
+    opts.metrics = &registry;
+    opts.trace = &trace;
+    ShardedRankServer server(RankPromotionConfig::Selective(0.3, 2), community.n,
+                             opts);
+    ExerciseServer(server, state, rng);
+
+    // Queue layer on the same server.
+    BatchQueueOptions qopts;
+    qopts.metrics = &registry;
+    qopts.trace = &trace;
+    BatchQueue queue(server, qopts);
+    std::vector<std::future<std::vector<uint32_t>>> futures;
+    for (int q = 0; q < 8; ++q) futures.push_back(queue.Submit(10));
+    for (auto& f : futures) f.get();
+    queue.Stop();
+
+    // Net layer: daemon + one client round-trip of every request frame.
+    net::NetDaemonOptions nopts;
+    nopts.metrics = &registry;
+    nopts.trace = &trace;
+    net::NetDaemon daemon(server, nopts);
+    daemon.Start();
+    net::NetClient client;
+    if (client.Connect("127.0.0.1", daemon.port(), 10)) {
+      net::NetClient::QueryResult result;
+      client.Query(10, 42, &result);
+      std::string text;
+      client.Scrape(&text);
+      net::HealthReplyFrame health;
+      client.Health(&health);
+    }
+    daemon.Drain();
+  }
+
+  // Serve layer, sharded (uncached) path: latency_ns/sharded/ for a
+  // non-promotion family.
+  {
+    ServingPageState state = MakeServingPageState(community, rng);
+    ServeOptions opts;
+    opts.shards = 2;
+    opts.enable_prefix_cache = false;
+    opts.metrics = &registry;
+    ShardedRankServer server(MakePolicyFromLabel("plackett-luce(T=0.25)"),
+                             community.n, opts);
+    ExerciseServer(server, state, rng);
+  }
+
+  // Experiment layer: two arms, one epoch, so the per-arm serve metrics and
+  // the /live gauge snapshot register.
+  {
+    std::vector<ArmSpec> arms;
+    arms.push_back({"control", MakePolicyFromLabel("none")});
+    arms.push_back({"treatment", MakePolicyFromLabel("selective(r=0.10,k=2)")});
+    ExperimentOptions eopts;
+    eopts.shards = 2;
+    eopts.queries_per_epoch = 200;
+    eopts.metrics = &registry;
+    eopts.trace = &trace;
+    ExperimentManager experiment(community, std::move(arms), eopts);
+    experiment.RunEpoch();
+  }
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    std::cout << "counter " << name;
+    if (values) std::cout << " " << value;
+    std::cout << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::cout << "gauge " << name;
+    if (values) std::cout << " " << value;
+    std::cout << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    std::cout << "histogram " << name;
+    if (values) std::cout << " " << hist.total;
+    std::cout << "\n";
+  }
+  return 0;
+}
