@@ -5,6 +5,7 @@
 #include "core/policy/epsilon_tail_policy.h"
 #include "core/policy/plackett_luce_policy.h"
 #include "core/policy/promotion_policy.h"
+#include "core/policy/thompson_promotion_policy.h"
 #include "core/ranking_policy.h"
 
 namespace randrank {
@@ -33,6 +34,7 @@ const std::vector<std::string>& KnownPolicyFamilyPrefixes() {
       "selective(r=...,k=...)",
       "plackett-luce(T=...)",
       "eps-tail(eps=...,k=...)",
+      "ts-promo(a=...,b=...,c=...,k=...)",
   };
   return kPrefixes;
 }
@@ -75,6 +77,19 @@ std::shared_ptr<const StochasticRankingPolicy> MakePolicyFromLabel(
                         "\": eps-tail epsilon must be in [0, 1]");
     return nullptr;
   }
+  double pool_a = 0.0;
+  double pool_b = 0.0;
+  double evidence = 0.0;
+  size_t ts_protect = 0;
+  if (ThompsonPromotionPolicy::ParseLabel(label, &pool_a, &pool_b, &evidence,
+                                          &ts_protect)) {
+    if (pool_a > 0.0 && pool_b > 0.0 && evidence >= 0.0) {
+      return MakeThompsonPromotionPolicy(pool_a, pool_b, evidence, ts_protect);
+    }
+    SetError(error, "policy label \"" + label +
+                        "\": ts-promo needs a > 0, b > 0, c >= 0");
+    return nullptr;
+  }
   SetError(error, "unknown policy label \"" + label +
                       "\"; known families: " + JoinPrefixes());
   return nullptr;
@@ -86,6 +101,10 @@ StandardPolicyFamilies() {
       MakePromotionPolicy(RankPromotionConfig::Recommended(2)),
       MakePlackettLucePolicy(0.05),
       MakeEpsilonTailPolicy(0.1, 10),
+      // Beta(1, 3) pool prior (mean 0.25) against c = 20 pseudo-observations
+      // per head: top-ranked heads (~mean 0.95) almost never lose the duel,
+      // deep-tail heads (~0.05) lose often — rank-adaptive promotion.
+      MakeThompsonPromotionPolicy(1.0, 3.0, 20.0, 1),
   };
 }
 

@@ -15,6 +15,7 @@ namespace randrank {
 ///   "none" | "uniform(r=0.10,k=1)" | "selective(r=0.10,k=2)"   (promotion)
 ///   "plackett-luce(T=0.25)"
 ///   "eps-tail(eps=0.10,k=10)"
+///   "ts-promo(a=1.00,b=3.00,c=20.0,k=1)"
 ///
 /// Returns nullptr when the label names no known family or carries
 /// out-of-range parameters; in that case `*error` (when non-null) receives
@@ -30,9 +31,10 @@ std::shared_ptr<const StochasticRankingPolicy> MakePolicyFromLabel(
 const std::vector<std::string>& KnownPolicyFamilyPrefixes();
 
 /// One representative policy per shipped family, in stable order: the
-/// paper's recommended promotion recipe, a Plackett-Luce sampler, and an
-/// epsilon-tail explorer. The standard sweep set for perf_serve's policy
-/// points, examples/policy_tuning, and the cross-family tests.
+/// paper's recommended promotion recipe, a Plackett-Luce sampler, an
+/// epsilon-tail explorer, and a Thompson-sampling promoter. The standard
+/// sweep set for perf_serve's policy points, examples/policy_tuning, and
+/// the cross-family tests.
 std::vector<std::shared_ptr<const StochasticRankingPolicy>>
 StandardPolicyFamilies();
 

@@ -1,0 +1,94 @@
+#ifndef RANDRANK_CORE_POLICY_THOMPSON_PROMOTION_POLICY_H_
+#define RANDRANK_CORE_POLICY_THOMPSON_PROMOTION_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/policy/stochastic_ranking_policy.h"
+
+namespace randrank {
+
+/// Thompson-sampling promotion: the pool/list partition of the paper's
+/// selective rule (undiscovered pages form the stochastic pool) with the
+/// fixed promotion coin replaced by a per-slot Bayesian duel. Each contested
+/// slot draws
+///
+///   theta_pool ~ Beta(a, b)                         (the pool prior —
+///     every pool page is zero-awareness, so they share one belief)
+///   theta_det  ~ Beta(1 + c*s, 1 + c*(1 - s))       (the deterministic
+///     head's posterior: its normalized rank score s in [0, 1] acts as c
+///     pseudo-observations of quality)
+///
+/// and fills the slot from the pool iff theta_pool > theta_det. High-scoring
+/// heads almost always beat the prior, so the top of the list stays
+/// deterministic; deep in the tail the duel flips often and undiscovered
+/// pages are promoted — the promotion *rate adapts to the strength of the
+/// evidence at each rank* instead of being one global r. The top `protect`
+/// slots never duel (the paper's protected prefix).
+///
+/// Structurally different from the promotion family (rank-dependent rather
+/// than constant promotion odds) and from epsilon-tail (explores a curated
+/// zero-awareness pool, not the whole tail) — which is exactly what the
+/// best-arm-identification example needs to discriminate.
+class ThompsonPromotionPolicy final : public StochasticRankingPolicy {
+ public:
+  ThompsonPromotionPolicy(double a, double b, double evidence, size_t protect)
+      : a_(a), b_(b), evidence_(evidence), protect_(protect) {}
+
+  std::string Label() const override;
+  PolicyCapabilities Capabilities() const override {
+    return {.lazy_prefix = true,
+            .epoch_state = true,
+            .sharded_merge = true,
+            .agent_sim = false,
+            .mean_field = false};
+  }
+  bool Valid() const override {
+    return a_ > 0.0 && b_ > 0.0 && evidence_ >= 0.0;
+  }
+
+  /// Selective partition: zero-awareness pages form the pool.
+  bool PoolMembership(bool zero_awareness, Rng& rng) const override {
+    (void)rng;
+    return zero_awareness;
+  }
+  size_t ProtectedPrefix() const override { return protect_; }
+
+  /// The epoch-invariant state is exactly the pre-merged global view (like
+  /// the promotion splice): nothing extra to build.
+
+  size_t ServePrefix(const ShardView* views, size_t num_views,
+                     const PolicyEpochState* epoch_state,
+                     PolicyScratch& scratch, size_t m, Rng& rng,
+                     std::vector<uint32_t>* out) const override;
+
+  std::vector<uint32_t> MaterializeReference(const ShardView& global,
+                                             Rng& rng) const override;
+
+  /// Inverse of Label(): parses "ts-promo(a=F,b=F,c=F,k=N)" into the out
+  /// params and returns true; false (leaving them untouched) on any other
+  /// string. Syntactic only — the caller range-checks via Valid().
+  static bool ParseLabel(const std::string& label, double* a, double* b,
+                         double* evidence, size_t* protect);
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double evidence() const { return evidence_; }
+  size_t protect() const { return protect_; }
+
+ private:
+  /// Pool prior Beta(a, b).
+  double a_;
+  double b_;
+  /// Pseudo-observation count c backing each deterministic head's score.
+  double evidence_;
+  /// Leading slots that never duel.
+  size_t protect_;
+};
+
+std::shared_ptr<const StochasticRankingPolicy> MakeThompsonPromotionPolicy(
+    double a, double b, double evidence, size_t protect);
+
+}  // namespace randrank
+
+#endif  // RANDRANK_CORE_POLICY_THOMPSON_PROMOTION_POLICY_H_

@@ -84,6 +84,20 @@ ExperimentManager::ExperimentManager(const CommunityParams& community,
     arm_states_.back().fold_rng = Rng(SplitMix64(&mix) ^ (a * 0x9e37ULL));
   }
 
+  if (opts_.async_serving) {
+    arm_queues_.reserve(arm_states_.size());
+    for (ArmState& arm : arm_states_) {
+      BatchQueueOptions qopts;
+      qopts.max_batch = std::max<size_t>(1, opts_.async_max_batch);
+      qopts.max_delay_us = opts_.async_max_delay_us;
+      qopts.metrics = opts_.metrics;
+      qopts.trace = opts_.trace;
+      qopts.obs_prefix = "exp/arm:" + arm.spec.name + "/queue";
+      arm_queues_.push_back(
+          std::make_unique<BatchQueue>(*arm.server, qopts));
+    }
+  }
+
   // The first epoch is published by the first RunEpoch (PublishEpoch runs
   // at the START of each epoch, so pending swaps/splits scheduled before a
   // RunEpoch are active for exactly that epoch — the configuration the
@@ -119,6 +133,11 @@ const ServingPageState& ExperimentManager::arm_page_state(size_t arm) const {
 
 LiveMetricsSnapshot ExperimentManager::ArmSnapshot(size_t arm) const {
   return arm_states_.at(arm).metrics.Snapshot();
+}
+
+EpochReward ExperimentManager::ArmEpochReward(size_t arm,
+                                              double cvar_alpha) const {
+  return arm_states_.at(arm).metrics.EpochRewardSummary(cvar_alpha);
 }
 
 std::vector<double> ExperimentManager::ArmTtfcSamples(
@@ -161,24 +180,56 @@ void ExperimentManager::ServeEpochTraffic() {
     Rng& traffic_rng = worker_rngs_[t];
     std::vector<ShardedRankServer::Context>& contexts = worker_contexts_[t];
     std::vector<LiveMetrics::Shard>& shards = worker_shards_[t];
-    std::vector<uint32_t> results;
-    results.reserve(opts_.top_m);
-    for (size_t q = begin; q < end; ++q) {
-      // Unit of diversion: the querying user. Hash bucketing keeps each
-      // user's arm fixed for the whole experiment (and across ramps, for
-      // the arms whose interval is retained), consuming no randomness.
-      const uint64_t user = traffic_rng.NextIndex(community_.u);
-      const size_t a = bucketer_.ArmForId(user);
-      ArmState& arm = arm_states_[a];
-      const size_t served =
-          arm.server->ServeTopM(contexts[a], opts_.top_m, &results);
-      shards[a].RecordResult(results.data(), served);
-      if (served == 0) continue;
+
+    // Shared by both serving paths: resolve one served result list into the
+    // arm's metric shard and (rank-biased) click feedback.
+    const auto settle = [&](size_t a, const std::vector<uint32_t>& results) {
+      shards[a].RecordResult(results.data(), results.size());
+      if (results.empty()) return;
       size_t rank = click_law.SampleRank(traffic_rng);
-      if (rank > served) rank = served;
+      if (rank > results.size()) rank = results.size();
       const uint32_t clicked = results[rank - 1];
-      arm.server->RecordVisit(contexts[a], clicked);
+      // Clicks go through the PRODUCER's context even in async mode: the
+      // queue serves results from its consumer context, but feedback is
+      // recorded on the caller's timeline (BatchQueue's contract).
+      arm_states_[a].server->RecordVisit(contexts[a], clicked);
       shards[a].RecordClick(clicked);
+    };
+
+    if (arm_queues_.empty()) {
+      std::vector<uint32_t> results;
+      results.reserve(opts_.top_m);
+      for (size_t q = begin; q < end; ++q) {
+        // Unit of diversion: the querying user. Hash bucketing keeps each
+        // user's arm fixed for the whole experiment (and across ramps, for
+        // the arms whose interval is retained), consuming no randomness.
+        const uint64_t user = traffic_rng.NextIndex(community_.u);
+        const size_t a = bucketer_.ArmForId(user);
+        ArmState& arm = arm_states_[a];
+        arm.server->ServeTopM(contexts[a], opts_.top_m, &results);
+        settle(a, results);
+      }
+    } else {
+      // Async path: pipeline a bounded window of in-flight futures per
+      // worker, settling strictly in submission order so this worker's
+      // Rng consumption stays reproducible given the served lists.
+      constexpr size_t kInflightWindow = 64;
+      std::vector<std::pair<size_t, std::future<std::vector<uint32_t>>>>
+          inflight;
+      inflight.reserve(kInflightWindow);
+      size_t settled = 0;
+      for (size_t q = begin; q < end; ++q) {
+        const uint64_t user = traffic_rng.NextIndex(community_.u);
+        const size_t a = bucketer_.ArmForId(user);
+        inflight.emplace_back(a, arm_queues_[a]->Submit(opts_.top_m));
+        if (inflight.size() - settled >= kInflightWindow) {
+          settle(inflight[settled].first, inflight[settled].second.get());
+          ++settled;
+        }
+      }
+      for (; settled < inflight.size(); ++settled) {
+        settle(inflight[settled].first, inflight[settled].second.get());
+      }
     }
     for (size_t a = 0; a < arm_states_.size(); ++a) {
       arm_states_[a].server->FlushFeedback(contexts[a]);
@@ -207,7 +258,12 @@ void ExperimentManager::PublishEpoch() {
     if (swap != nullptr) arm.spec.policy = std::move(swap);
   }
   if (has_pending_split_) {
-    bucketer_ = HashBucketer(std::move(pending_split_));
+    // Segment-preserving reallocation: only users of arms that LOST share
+    // can move, and only into arms that gained — survivors of an
+    // elimination keep their population (HashBucketer's stability
+    // contract, pinned by exp_test).
+    bucketer_ = bucketer_.Reallocated(pending_split_);
+    pending_split_ = TrafficSplit{};
     has_pending_split_ = false;
   }
 }

@@ -13,6 +13,7 @@
 #include "exp/live_metrics.h"
 #include "exp/page_lifecycle.h"
 #include "exp/traffic_split.h"
+#include "serve/batch_queue.h"
 #include "serve/feedback.h"
 #include "serve/sharded_rank_server.h"
 #include "util/rng.h"
@@ -43,6 +44,19 @@ struct ExperimentOptions {
   double rank_bias_exponent = 1.5;
   /// Per-arm ServeOptions::enable_prefix_cache.
   bool enable_prefix_cache = true;
+  /// Route each arm's queries through a per-arm BatchQueue (async MPSC
+  /// consumer) instead of calling ServeTopM inline: results come from the
+  /// queue consumer's own serving context, so policy hot-swaps are exercised
+  /// under the async consumer, and each arm's queue occupancy lands in the
+  /// registry under "exp/arm:<name>/queue/*". Workers keep a bounded
+  /// in-flight window of futures and still record clicks through their own
+  /// contexts (the queue's feedback contract). Realized traffic differs
+  /// from the sync path (the consumer owns the serving Rng streams) but
+  /// follows the same law.
+  bool async_serving = false;
+  /// BatchQueueOptions::max_batch / max_delay_us for the per-arm queues.
+  size_t async_max_batch = 32;
+  uint64_t async_max_delay_us = 0;
   /// Run the shared page-lifecycle churn each epoch.
   bool churn = true;
   /// Fraction of pages fully discovered (everyone aware, popularity ==
@@ -127,6 +141,10 @@ class ExperimentManager {
   const ShardedRankServer& arm_server(size_t arm) const;
   const ServingPageState& arm_page_state(size_t arm) const;
   LiveMetricsSnapshot ArmSnapshot(size_t arm) const;
+  /// The reward summary of `arm`'s most recently run epoch (see
+  /// LiveMetrics::EpochRewardSummary) — the observation the adaptive
+  /// best-arm layer (src/bai/) feeds its scheduler after each RunEpoch.
+  EpochReward ArmEpochReward(size_t arm, double cvar_alpha = 0.25) const;
   /// Per-newborn time-to-first-click samples (censored at `censor_epochs`),
   /// the input to the arm-vs-arm MannWhitneyZ discovery test.
   std::vector<double> ArmTtfcSamples(size_t arm, double censor_epochs) const;
@@ -167,6 +185,10 @@ class ExperimentManager {
   TrafficSplit pending_split_;
   bool has_pending_split_ = false;
   std::vector<ArmState> arm_states_;
+  /// Async mode: one BatchQueue per arm (same index), consumers running for
+  /// the manager's whole life so hot-swaps publish under live async serving.
+  /// Declared after arm_states_ so the queues stop before the servers die.
+  std::vector<std::unique_ptr<BatchQueue>> arm_queues_;
   PageLifecycle lifecycle_;
   Rng churn_rng_{0};
   uint64_t click_seed_ = 0;

@@ -1,6 +1,7 @@
 #include "exp/live_metrics.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "obs/metrics.h"
 #include "util/stats.h"
@@ -14,6 +15,7 @@ void LiveMetrics::BeginEpoch(int64_t epoch) {
   epoch_ = epoch;
   epoch_queries_ = 0;
   epoch_clicks_ = 0;
+  epoch_click_qualities_.clear();
 }
 
 void LiveMetrics::Absorb(const Shard& shard, const ServingPageState& state) {
@@ -29,6 +31,7 @@ void LiveMetrics::Absorb(const Shard& shard, const ServingPageState& state) {
     ++clicks_;
     ++epoch_clicks_;
     click_quality_sum_ += state.quality[page];
+    epoch_click_qualities_.push_back(state.quality[page]);
     undiscovered_clicks_ += state.zero_awareness[page];
     // Newborn first-click: the birth clock is per-arm, so two arms serving
     // the same churn schedule measure their own discovery speeds.
@@ -82,6 +85,33 @@ LiveMetricsSnapshot LiveMetrics::Snapshot() const {
   snap.epoch_queries = epoch_queries_;
   snap.epoch_clicks = epoch_clicks_;
   return snap;
+}
+
+EpochReward LiveMetrics::EpochRewardSummary(double cvar_alpha) const {
+  assert(cvar_alpha > 0.0 && cvar_alpha <= 1.0);
+  EpochReward reward;
+  reward.queries = epoch_queries_;
+  reward.clicks = epoch_clicks_;
+  assert(epoch_click_qualities_.size() == epoch_clicks_);
+  for (const double q : epoch_click_qualities_) {
+    reward.quality_sum += q;
+    reward.quality_sq_sum += q * q;
+  }
+  if (epoch_click_qualities_.empty()) return reward;
+  reward.mean =
+      reward.quality_sum / static_cast<double>(epoch_click_qualities_.size());
+  // Worst-tail mean: partial-select the lowest ceil(alpha * clicks)
+  // qualities rather than sorting the whole epoch.
+  const size_t tail = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(cvar_alpha *
+                       static_cast<double>(epoch_click_qualities_.size()))));
+  std::vector<double> worst = epoch_click_qualities_;
+  std::nth_element(worst.begin(), worst.begin() + (tail - 1), worst.end());
+  double tail_sum = 0.0;
+  for (size_t i = 0; i < tail; ++i) tail_sum += worst[i];
+  reward.cvar = tail_sum / static_cast<double>(tail);
+  return reward;
 }
 
 void LiveMetrics::PublishTo(obs::MetricsRegistry& registry,

@@ -53,6 +53,25 @@ struct LiveMetricsSnapshot {
   uint64_t epoch_clicks = 0;
 };
 
+/// One epoch's clicked-quality reward summary — the observation an adaptive
+/// (best-arm identification) scheduler consumes per arm per epoch. All
+/// fields cover ONLY the epoch since the last BeginEpoch.
+struct EpochReward {
+  uint64_t queries = 0;
+  uint64_t clicks = 0;
+  /// Sum and sum-of-squares of clicked true qualities (for posterior /
+  /// variance estimates without re-walking samples).
+  double quality_sum = 0.0;
+  double quality_sq_sum = 0.0;
+  /// Mean clicked quality — the epoch's click-QPC; 0 with no clicks.
+  double mean = 0.0;
+  /// Conditional value-at-risk of clicked quality: the mean of the worst
+  /// ceil(alpha * clicks) clicked qualities this epoch (0 with no clicks).
+  /// The guardrail statistic — a policy can look fine on mean QPC while
+  /// serving a brutal worst tail; CVaR catches that.
+  double cvar = 0.0;
+};
+
 /// Per-arm metrics accumulator for live experiments.
 ///
 /// Threading model: serving workers record into worker-local `Shard`s (no
@@ -108,6 +127,11 @@ class LiveMetrics {
 
   LiveMetricsSnapshot Snapshot() const;
 
+  /// Reward summary of the CURRENT epoch's absorbed traffic (call after the
+  /// epoch's shards were absorbed, before the next BeginEpoch). `cvar_alpha`
+  /// in (0, 1] selects the worst-tail share for EpochReward::cvar.
+  EpochReward EpochRewardSummary(double cvar_alpha) const;
+
   /// Publishes the current Snapshot() into `registry` as gauges named
   /// `<prefix>/<field>` (click_qpc, tail_share, impression_gini, ...), so an
   /// arm's live health rides the same exporter feed as the serve-layer
@@ -151,6 +175,9 @@ class LiveMetrics {
   int64_t epoch_ = 0;
   uint64_t epoch_queries_ = 0;
   uint64_t epoch_clicks_ = 0;
+  /// The epoch's clicked true qualities (reset by BeginEpoch): the sample
+  /// the adaptive layer's reward posterior and CVaR guardrail read.
+  std::vector<double> epoch_click_qualities_;
 };
 
 }  // namespace randrank

@@ -9,6 +9,14 @@
 
 namespace randrank {
 
+namespace {
+
+/// Below this width a hash segment holds no representable mass worth
+/// scanning for; such slivers are float-drift artifacts of reallocation.
+constexpr double kSegmentEpsilon = 1e-12;
+
+}  // namespace
+
 TrafficSplit TrafficSplit::Even(size_t arms, uint64_t salt) {
   TrafficSplit split;
   split.salt = salt;
@@ -29,15 +37,33 @@ bool TrafficSplit::Valid() const {
 
 HashBucketer::HashBucketer(TrafficSplit split) : split_(std::move(split)) {
   assert(split_.Valid());
-  cumulative_.reserve(split_.fractions.size());
+  segments_.reserve(split_.fractions.size());
   double running = 0.0;
-  for (const double f : split_.fractions) {
-    running += f;
-    cumulative_.push_back(running);
+  for (size_t arm = 0; arm < split_.fractions.size(); ++arm) {
+    running += split_.fractions[arm];
+    segments_.emplace_back(running, static_cast<uint32_t>(arm));
   }
+  NormalizeSegments();
+}
+
+void HashBucketer::NormalizeSegments() {
+  std::vector<std::pair<double, uint32_t>> out;
+  out.reserve(segments_.size());
+  double begin = 0.0;
+  for (const auto& [end, arm] : segments_) {
+    if (end - begin < kSegmentEpsilon) continue;  // empty sliver
+    if (!out.empty() && out.back().second == arm) {
+      out.back().first = end;  // merge with the adjacent same-arm segment
+    } else {
+      out.emplace_back(end, arm);
+    }
+    begin = end;
+  }
+  if (out.empty()) out.emplace_back(1.0, 0u);
   // Float summation drift must not orphan the top of the hash interval —
-  // the last arm's boundary is exactly 1 so every hash point has an owner.
-  cumulative_.back() = 1.0;
+  // the last boundary is exactly 1 so every hash point has an owner.
+  out.back().first = 1.0;
+  segments_ = std::move(out);
 }
 
 double HashBucketer::HashPoint(uint64_t unit_id) const {
@@ -52,12 +78,120 @@ double HashBucketer::HashPoint(uint64_t unit_id) const {
 
 size_t HashBucketer::ArmForId(uint64_t unit_id) const {
   const double point = HashPoint(unit_id);
-  // Linear scan: experiments have a handful of arms, and the scan keeps the
-  // interval geometry (first boundary >= point wins) trivially auditable.
-  for (size_t arm = 0; arm + 1 < cumulative_.size(); ++arm) {
-    if (point < cumulative_[arm]) return arm;
+  // Linear scan: experiments have a handful of arms (reallocation can at
+  // most add one extra segment per shrink), and the scan keeps the interval
+  // geometry (first boundary > point wins) trivially auditable.
+  for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+    if (point < segments_[i].first) return segments_[i].second;
   }
-  return cumulative_.size() - 1;
+  return segments_.back().second;
+}
+
+HashBucketer HashBucketer::Reallocated(const TrafficSplit& new_split) const {
+  assert(new_split.Valid());
+  assert(new_split.arms() == split_.arms());
+  if (new_split.salt != split_.salt || new_split.arms() != split_.arms()) {
+    // A different salt is a different hash universe: no assignment can be
+    // preserved, so fall back to a fresh cumulative bucketing.
+    return HashBucketer(new_split);
+  }
+
+  const size_t arms = split_.arms();
+  std::vector<double> delta(arms);
+  for (size_t a = 0; a < arms; ++a) {
+    delta[a] = new_split.fractions[a] - split_.fractions[a];
+  }
+
+  // Explicit (begin, end, arm) pieces of the current partition.
+  struct Piece {
+    double begin;
+    double end;
+    uint32_t arm;
+  };
+  std::vector<Piece> pieces;
+  pieces.reserve(segments_.size() * 2);
+  double begin = 0.0;
+  for (const auto& [end, arm] : segments_) {
+    pieces.push_back({begin, end, arm});
+    begin = end;
+  }
+
+  // Shrinking arms cede exactly their lost mass, trimmed from the RIGHT end
+  // of their right-most segments first (mirrors the fresh-construction ramp
+  // geometry: an arm grows and shrinks at its top boundary). Ceded
+  // sub-intervals are parked under a sentinel owner.
+  constexpr uint32_t kCeded = ~0u;
+  for (size_t a = 0; a < arms; ++a) {
+    double to_cede = -delta[a];
+    if (to_cede <= kSegmentEpsilon) continue;
+    for (size_t i = pieces.size(); i-- > 0 && to_cede > kSegmentEpsilon;) {
+      Piece& piece = pieces[i];
+      if (piece.arm != a) continue;
+      const double width = piece.end - piece.begin;
+      const double take = std::min(width, to_cede);
+      to_cede -= take;
+      const double cut = piece.end - take;
+      if (take >= width - kSegmentEpsilon) {
+        piece.arm = kCeded;  // whole piece ceded
+      } else {
+        pieces.push_back({cut, piece.end, kCeded});
+        piece.end = cut;
+      }
+    }
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& x, const Piece& y) { return x.begin < y.begin; });
+
+  // Growing arms absorb the ceded intervals in arm-index order, filling
+  // hash-order first. Their existing segments are untouched, so every unit
+  // already in a non-shrinking arm keeps its assignment.
+  size_t grower = 0;
+  double need = 0.0;
+  const auto next_grower = [&]() {
+    while (grower < arms && delta[grower] <= kSegmentEpsilon) ++grower;
+    need = grower < arms ? delta[grower] : 0.0;
+  };
+  next_grower();
+  std::vector<Piece> assigned;
+  for (Piece& piece : pieces) {
+    while (piece.arm == kCeded && piece.end - piece.begin > kSegmentEpsilon) {
+      if (grower >= arms) {
+        // Float-drift residue with every grower satisfied: hand it to the
+        // last arm that grew (there is one — mass ceded implies mass
+        // gained, both splits summing to 1).
+        size_t last = arms;
+        for (size_t a = arms; a-- > 0;) {
+          if (delta[a] > kSegmentEpsilon) { last = a; break; }
+        }
+        piece.arm = static_cast<uint32_t>(last < arms ? last : 0);
+        break;
+      }
+      const double width = piece.end - piece.begin;
+      if (width <= need + kSegmentEpsilon) {
+        piece.arm = static_cast<uint32_t>(grower);
+        need -= width;
+        if (need <= kSegmentEpsilon) { ++grower; next_grower(); }
+      } else {
+        assigned.push_back(
+            {piece.begin, piece.begin + need, static_cast<uint32_t>(grower)});
+        piece.begin += need;
+        ++grower;
+        next_grower();
+      }
+    }
+  }
+  pieces.insert(pieces.end(), assigned.begin(), assigned.end());
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& x, const Piece& y) { return x.begin < y.begin; });
+
+  HashBucketer out;
+  out.split_ = new_split;
+  out.segments_.reserve(pieces.size());
+  for (const Piece& piece : pieces) {
+    out.segments_.emplace_back(piece.end, piece.arm);
+  }
+  out.NormalizeSegments();
+  return out;
 }
 
 }  // namespace randrank

@@ -12,7 +12,9 @@ namespace randrank {
 /// from any other experiment hashing the same unit ids.
 struct TrafficSplit {
   /// Fraction of traffic routed to each arm, in arm order. Must be
-  /// non-negative and sum to 1 within a small tolerance.
+  /// non-negative and sum to 1 within a small tolerance. A fraction of
+  /// exactly 0 is legal — an eliminated arm keeps its slot (indices stay
+  /// stable) while receiving no traffic.
   std::vector<double> fractions;
   /// Experiment-identity salt mixed into the unit hash. Two experiments with
   /// different salts bucket the same population independently; re-using a
@@ -28,21 +30,28 @@ struct TrafficSplit {
 
 /// Deterministic unit-of-diversion -> arm assignment by hash bucketing: a
 /// unit id (user or query-stream id) is hashed to a uniform point in [0, 1)
-/// and the split's cumulative fractions partition that interval into arms.
+/// and a piecewise partition of that interval maps points to arms.
 ///
 /// Properties the experiment layer depends on (pinned by tests/exp_test.cc):
 ///  * **Deterministic & epoch-stable** — assignment is a pure function of
-///    (salt, id): the same unit lands in the same arm on every query, every
-///    epoch, every process run. No Rng is consumed, so routing is
-///    independent of the policies' own randomness by construction.
+///    (salt, id, partition): the same unit lands in the same arm on every
+///    query, every epoch, every process run. No Rng is consumed, so routing
+///    is independent of the policies' own randomness by construction.
 ///  * **Unbiased** — arm occupancy matches the fractions (chi-squared
 ///    verified over large id populations, at several fraction vectors).
-///  * **Monotone ramps** — arms own contiguous hash intervals anchored at
-///    the cumulative boundaries, with the LAST arm owning the top interval
-///    [1 - f, 1). Growing the last arm's fraction (the canonical treatment
-///    ramp 1% -> 5% -> 50%) only moves units INTO it; every unit already in
-///    the treatment stays, so per-unit experiences never flip back and forth
-///    during a ramp.
+///  * **Monotone ramps** — on fresh construction arms own contiguous hash
+///    intervals anchored at the cumulative boundaries, with the LAST arm
+///    owning the top interval [1 - f, 1). Growing the last arm's fraction
+///    (the canonical treatment ramp 1% -> 5% -> 50%) only moves units INTO
+///    it; every unit already in the treatment stays, so per-unit experiences
+///    never flip back and forth during a ramp.
+///  * **Reallocation stability** — Reallocated() applies new fractions by
+///    moving hash mass ONLY from arms that shrank to arms that grew: a unit
+///    changes arm only if its current arm lost traffic share, and it can
+///    only land in an arm that gained share. Arms whose fraction did not
+///    decrease keep every unit they had — the invariant the adaptive
+///    (best-arm) layer needs when it retires an arm and redistributes its
+///    traffic across the survivors.
 class HashBucketer {
  public:
   explicit HashBucketer(TrafficSplit split);
@@ -54,13 +63,36 @@ class HashBucketer {
   /// can verify the interval geometry and ramp monotonicity directly).
   double HashPoint(uint64_t unit_id) const;
 
+  /// A bucketer serving `new_split` that preserves assignments wherever
+  /// possible: each shrinking arm cedes exactly its lost mass (taken from
+  /// the right end of its hash segments), and the ceded intervals are
+  /// re-labeled to the growing arms in arm-index order. Arms whose fraction
+  /// is unchanged (or grew) keep their entire current population. Requires
+  /// the same arm count; a different salt forces a fresh re-bucketing (the
+  /// stability guarantee only holds within one hash universe).
+  HashBucketer Reallocated(const TrafficSplit& new_split) const;
+
   size_t arms() const { return split_.arms(); }
   const TrafficSplit& split() const { return split_; }
 
+  /// The piecewise hash->arm partition, as (end, arm) pairs sorted by
+  /// position; segment i covers [end[i-1], end[i]) (the first starts at 0,
+  /// the last ends at exactly 1). Exposed for tests and for allocation
+  /// diagnostics (a freshly constructed bucketer has one segment per
+  /// positive-fraction arm; reallocation can fragment arms into several).
+  const std::vector<std::pair<double, uint32_t>>& segments() const {
+    return segments_;
+  }
+
  private:
+  HashBucketer() = default;
+  /// Drops empty segments, merges adjacent same-arm segments, and pins the
+  /// final boundary to exactly 1 so every hash point has an owner.
+  void NormalizeSegments();
+
   TrafficSplit split_;
-  /// cumulative_[i] = upper hash boundary of arm i; back() == 1.
-  std::vector<double> cumulative_;
+  /// {upper hash boundary, owning arm}, sorted by boundary; back().first == 1.
+  std::vector<std::pair<double, uint32_t>> segments_;
 };
 
 }  // namespace randrank

@@ -113,6 +113,93 @@ TEST(HashBucketerTest, RampingTheLastArmIsMonotone) {
   }
 }
 
+// --- Satellite: segment-preserving reallocation --------------------------
+
+// Eliminating an arm through Reallocated moves ONLY the eliminated arm's
+// users: every survivor keeps the assignment it had, and the freed traffic
+// lands on the growing arms in the requested proportions.
+TEST(HashBucketerTest, ReallocatedMovesOnlyTheEliminatedArmsUsers) {
+  const size_t kIds = 30000;
+  const TrafficSplit even = TrafficSplit::Even(4, 19);
+  const HashBucketer before(even);
+  TrafficSplit after_split = even;
+  after_split.fractions = {0.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  ASSERT_TRUE(after_split.Valid());
+  const HashBucketer after = before.Reallocated(after_split);
+
+  std::vector<double> occupancy(4, 0.0);
+  size_t moved = 0;
+  for (uint64_t id = 0; id < kIds; ++id) {
+    const size_t old_arm = before.ArmForId(id);
+    const size_t new_arm = after.ArmForId(id);
+    occupancy[new_arm] += 1.0;
+    if (old_arm == 0) {
+      EXPECT_NE(new_arm, 0u) << "unit " << id << " stayed on a dead arm";
+      ++moved;
+    } else {
+      ASSERT_EQ(new_arm, old_arm)
+          << "surviving unit " << id << " flipped arms during elimination";
+    }
+  }
+  EXPECT_EQ(occupancy[0], 0.0);
+  // The ceded quarter spread over the survivors: occupancy tracks the new
+  // fractions (one-sample chi-squared over the three live arms).
+  EXPECT_NEAR(static_cast<double>(moved) / kIds, 0.25, 0.02);
+  double chi2 = 0.0;
+  for (size_t a = 1; a < 4; ++a) {
+    const double expected = static_cast<double>(kIds) / 3.0;
+    chi2 += (occupancy[a] - expected) * (occupancy[a] - expected) / expected;
+  }
+  EXPECT_LE(chi2, ChiSquaredCritical(2, 0.001));
+}
+
+// A multi-step ramp via Reallocated is monotone in the strong sense: a unit
+// changes arms only by moving FROM an arm whose fraction shrank TO one
+// whose fraction grew. Nobody shuffles between two growing (or two
+// steady) arms, so the winner's cohort only ever accretes.
+TEST(HashBucketerTest, ReallocatedRampNeverFlipsSurvivingUsers) {
+  const size_t kIds = 20000;
+  TrafficSplit split = TrafficSplit::Even(4, 7);
+  HashBucketer bucketer(split);
+  std::vector<size_t> prev_arm(kIds);
+  for (uint64_t id = 0; id < kIds; ++id) {
+    prev_arm[id] = bucketer.ArmForId(id);
+  }
+  std::vector<double> prev_fractions = split.fractions;
+
+  const std::vector<std::vector<double>> ramp = {
+      {0.2, 0.2, 0.2, 0.4},
+      {0.1, 0.1, 0.1, 0.7},
+      {0.0, 0.05, 0.05, 0.9},
+  };
+  std::set<uint64_t> winners;  // arm 3's cohort, across stages
+  for (const auto& fractions : ramp) {
+    TrafficSplit next = bucketer.split();
+    next.fractions = fractions;
+    ASSERT_TRUE(next.Valid());
+    bucketer = bucketer.Reallocated(next);
+    for (uint64_t id = 0; id < kIds; ++id) {
+      const size_t arm = bucketer.ArmForId(id);
+      if (arm != prev_arm[id]) {
+        EXPECT_LT(fractions[prev_arm[id]], prev_fractions[prev_arm[id]])
+            << "unit " << id << " left an arm that was not shrinking";
+        EXPECT_GT(fractions[arm], prev_fractions[arm])
+            << "unit " << id << " entered an arm that was not growing";
+      }
+      if (arm == 3) {
+        winners.insert(id);
+      } else {
+        EXPECT_EQ(winners.count(id), 0u)
+            << "unit " << id << " fell out of the ramping winner";
+      }
+      prev_arm[id] = arm;
+    }
+    prev_fractions = fractions;
+  }
+  // The winner really absorbed the ramp.
+  EXPECT_NEAR(static_cast<double>(winners.size()) / kIds, 0.9, 0.02);
+}
+
 // Routing consumes no randomness, so it cannot be entangled with the
 // policies' draws: two experiments with the same seed but different arm
 // policies route the identical traffic stream identically.
@@ -542,6 +629,125 @@ TEST(ExperimentManagerTest, RampAndHotSwapApplyAtTheNextEpoch) {
   EXPECT_NE(feed.find("\"policy\":\"selective(r=0.10,k=2)\""), std::string::npos);
   EXPECT_NE(feed.find("\"split\":0.5"), std::string::npos);
   EXPECT_EQ(std::count(feed.begin(), feed.end(), '\n'), 2);
+}
+
+// Elimination (a zero fraction), reallocation, and a policy hot-swap staged
+// together all land on the SAME next publish: the eliminated arm serves not
+// one further query, survivors keep their users (segment-preserving
+// reallocation), and the swapped policy serves that whole epoch — no epoch
+// mixes configurations. Runs under TSan in CI with the threaded worker pool.
+TEST(ExperimentManagerTest, EliminationReallocationAndSwapComposeAtomically) {
+  CommunityParams community = CommunityParams::Default();
+  community.n = 300;
+  community.u = 150;
+  community.m = 15;
+
+  ExperimentOptions opts;
+  opts.queries_per_epoch = 3000;
+  opts.threads = 2;
+  opts.shards = 2;
+  opts.churn = false;
+  opts.seed = 53;
+  opts.split.fractions = {0.34, 0.33, 0.33};
+
+  std::vector<ArmSpec> arms;
+  arms.push_back({"control", MakePromotionPolicy(RankPromotionConfig::None())});
+  arms.push_back(
+      {"mid", MakePromotionPolicy(RankPromotionConfig::Selective(0.05, 2))});
+  arms.push_back(
+      {"loser", MakePromotionPolicy(RankPromotionConfig::Uniform(0.5, 1))});
+  ExperimentManager exp(community, std::move(arms), opts);
+  exp.RunEpoch();
+
+  // Remember every unit's assignment under the old split.
+  const size_t kIds = 10000;
+  std::vector<size_t> before(kIds);
+  for (uint64_t id = 0; id < kIds; ++id) {
+    before[id] = exp.bucketer().ArmForId(id);
+  }
+
+  // Stage all three changes; none applies until the next epoch opens.
+  TrafficSplit next = exp.bucketer().split();
+  next.fractions = {0.5, 0.5, 0.0};
+  exp.SetSplit(next);
+  exp.SwapPolicy(0,
+                 MakePromotionPolicy(RankPromotionConfig::Selective(0.10, 2)));
+  EXPECT_DOUBLE_EQ(exp.bucketer().split().fractions[2], 0.33);
+  EXPECT_EQ(exp.arm_spec(0).policy->Label(), "none");
+
+  exp.RunEpoch();
+
+  // The epoch ran entirely under the new configuration.
+  EXPECT_DOUBLE_EQ(exp.bucketer().split().fractions[2], 0.0);
+  EXPECT_EQ(exp.arm_spec(0).policy->Label(), "selective(r=0.10,k=2)");
+  EXPECT_EQ(exp.arm_server(0).policy()->Label(), "selective(r=0.10,k=2)");
+  EXPECT_EQ(exp.ArmSnapshot(2).epoch_queries, 0u);
+  EXPECT_EQ(exp.ArmSnapshot(0).epoch_queries + exp.ArmSnapshot(1).epoch_queries,
+            static_cast<uint64_t>(opts.queries_per_epoch));
+
+  // Segment preservation: only the eliminated arm's users moved.
+  for (uint64_t id = 0; id < kIds; ++id) {
+    const size_t arm = exp.bucketer().ArmForId(id);
+    if (before[id] == 2) {
+      EXPECT_NE(arm, 2u);
+    } else {
+      ASSERT_EQ(arm, before[id]) << "surviving unit " << id << " flipped";
+    }
+  }
+}
+
+// Async serving mode: the same epoch loop routed through per-arm
+// BatchQueues. Accounting must be exact (every query served and attributed
+// once) and the queues must export their stats under exp/arm:<name>/queue.
+TEST(ExperimentManagerTest, AsyncServingAccountsExactlyAndExportsQueueStats) {
+  CommunityParams community = CommunityParams::Default();
+  community.n = 400;
+  community.u = 150;
+  community.m = 20;
+
+  obs::MetricsRegistry registry;
+  ExperimentOptions opts;
+  opts.queries_per_epoch = 2000;
+  opts.threads = 2;
+  opts.shards = 2;
+  opts.churn = false;
+  opts.seed = 61;
+  opts.metrics = &registry;
+  opts.async_serving = true;
+  opts.async_max_batch = 16;
+
+  const size_t kEpochs = 3;
+  {
+    std::vector<ArmSpec> arms;
+    arms.push_back(
+        {"control", MakePromotionPolicy(RankPromotionConfig::None())});
+    arms.push_back(
+        {"treatment",
+         MakePromotionPolicy(RankPromotionConfig::Selective(0.15, 2))});
+    ExperimentManager exp(community, std::move(arms), opts);
+    for (size_t e = 0; e < kEpochs; ++e) exp.RunEpoch();
+
+    const LiveMetricsSnapshot control = exp.ArmSnapshot(0);
+    const LiveMetricsSnapshot treatment = exp.ArmSnapshot(1);
+    EXPECT_EQ(control.queries + treatment.queries,
+              static_cast<uint64_t>(kEpochs * opts.queries_per_epoch));
+    EXPECT_GT(control.queries, 0u);
+    EXPECT_GT(treatment.queries, 0u);
+  }
+  // The manager's destructor joined the queue consumers, so the counters
+  // are final (the consumer bumps them after resolving each future).
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const auto counter = [&](const std::string& name) {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? -1.0 : static_cast<double>(it->second);
+  };
+  EXPECT_EQ(counter("exp/arm:control/queue/queries_total") +
+                counter("exp/arm:treatment/queue/queries_total"),
+            static_cast<double>(kEpochs * opts.queries_per_epoch));
+  EXPECT_GT(counter("exp/arm:control/queue/batches_total"), 0.0);
+  EXPECT_GT(counter("exp/arm:treatment/queue/batches_total"), 0.0);
+  EXPECT_EQ(snap.histograms.count("exp/arm:control/queue/wait_ns"), 1u);
+  EXPECT_EQ(snap.gauges.count("exp/arm:treatment/queue/max_batch"), 1u);
 }
 
 }  // namespace

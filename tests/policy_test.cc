@@ -15,6 +15,7 @@
 #include "core/policy/plackett_luce_policy.h"
 #include "core/policy/policy_factory.h"
 #include "core/policy/promotion_policy.h"
+#include "core/policy/thompson_promotion_policy.h"
 #include "core/rank_merge.h"
 #include "core/ranking_policy.h"
 #include "harness/presets.h"
@@ -58,6 +59,14 @@ TEST(PolicyCapabilitiesTest, FamiliesDeclareTheExpectedMatrix) {
   EXPECT_TRUE(eps->Capabilities().sharded_merge);
   EXPECT_FALSE(eps->Capabilities().agent_sim);
   EXPECT_EQ(eps->AsPromotion(), nullptr);
+
+  const auto ts = MakeThompsonPromotionPolicy(1.0, 3.0, 20.0, 1);
+  EXPECT_TRUE(ts->Capabilities().lazy_prefix);
+  EXPECT_TRUE(ts->Capabilities().epoch_state);
+  EXPECT_TRUE(ts->Capabilities().sharded_merge);
+  EXPECT_FALSE(ts->Capabilities().agent_sim);
+  EXPECT_FALSE(ts->Capabilities().mean_field);
+  EXPECT_EQ(ts->AsPromotion(), nullptr);
 }
 
 // Which families actually produce opaque per-epoch state (the promotion
@@ -83,6 +92,8 @@ TEST(PolicyCapabilitiesTest, BuildEpochStateProducesStateWhereExpected) {
   EXPECT_NE(build(MakeEpsilonTailPolicy(0.3, 4)), nullptr);
   // A zero protected head leaves epsilon-tail stateless too.
   EXPECT_EQ(build(MakeEpsilonTailPolicy(0.3, 0)), nullptr);
+  // ts-promo duels over the merged view itself — nothing extra to build.
+  EXPECT_EQ(build(MakeThompsonPromotionPolicy(1.0, 3.0, 20.0, 1)), nullptr);
 }
 
 TEST(PolicyFactoryTest, LabelsRoundTripThroughMakePolicyFromLabel) {
@@ -98,6 +109,9 @@ TEST(PolicyFactoryTest, LabelsRoundTripThroughMakePolicyFromLabel) {
   const auto eps = MakePolicyFromLabel("eps-tail(eps=0.25,k=7)");
   ASSERT_NE(eps, nullptr);
   EXPECT_EQ(eps->Label(), "eps-tail(eps=0.25,k=7)");
+  const auto ts = MakePolicyFromLabel("ts-promo(a=1.50,b=2.00,c=12.0,k=2)");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->Label(), "ts-promo(a=1.50,b=2.00,c=12.0,k=2)");
 
   EXPECT_EQ(MakePolicyFromLabel("thompson(alpha=1)"), nullptr);
   EXPECT_EQ(MakePolicyFromLabel("plackett-luce(T=-1.00)"), nullptr);
@@ -105,6 +119,10 @@ TEST(PolicyFactoryTest, LabelsRoundTripThroughMakePolicyFromLabel) {
   EXPECT_EQ(MakePolicyFromLabel("plackett-luce(T=0.05"), nullptr);
   EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=0.10,k=5)junk"), nullptr);
   EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=2.00,k=5)"), nullptr);
+  EXPECT_EQ(MakePolicyFromLabel("ts-promo(a=0.00,b=3.00,c=20.0,k=1)"),
+            nullptr);
+  EXPECT_EQ(MakePolicyFromLabel("ts-promo(a=1.00,b=3.00,c=20.0,k=1)x"),
+            nullptr);
   EXPECT_EQ(MakePolicyFromLabel(""), nullptr);
 }
 
@@ -129,6 +147,13 @@ TEST(PolicyFactoryTest, RejectionsEchoTheLabelAndKnownFamilies) {
   EXPECT_EQ(MakePolicyFromLabel("eps-tail(eps=2.00,k=5)", &error), nullptr);
   EXPECT_NE(error.find("eps-tail(eps=2.00,k=5)"), std::string::npos) << error;
   EXPECT_NE(error.find("epsilon"), std::string::npos) << error;
+  error.clear();
+  EXPECT_EQ(MakePolicyFromLabel("ts-promo(a=0.00,b=3.00,c=20.0,k=1)", &error),
+            nullptr);
+  EXPECT_NE(error.find("ts-promo(a=0.00,b=3.00,c=20.0,k=1)"),
+            std::string::npos)
+      << error;
+  EXPECT_NE(error.find("a > 0"), std::string::npos) << error;
   // Promotion-shaped labels with bad parameters get the promotion-specific
   // message, not the contradictory "unknown family" one.
   error.clear();
@@ -166,6 +191,7 @@ TEST(PolicyFactoryTest, EveryKnownFamilyRoundTripsAndRejectsMalformedLabels) {
       "selective(r=0.10,k=2)",
       "plackett-luce(T=0.33)",
       "eps-tail(eps=0.25,k=7)",
+      "ts-promo(a=1.50,b=2.00,c=12.0,k=2)",
   };
   for (const auto& policy : StandardPolicyFamilies()) {
     labels.insert(policy->Label());
@@ -207,7 +233,7 @@ TEST(PolicyFactoryTest, EveryKnownFamilyRoundTripsAndRejectsMalformedLabels) {
 
 TEST(PolicyFactoryTest, StandardFamiliesAreValidAndDistinct) {
   const auto families = StandardPolicyFamilies();
-  ASSERT_EQ(families.size(), 3u);
+  ASSERT_EQ(families.size(), 4u);
   std::set<std::string> labels;
   for (const auto& policy : families) {
     EXPECT_TRUE(policy->Valid()) << policy->Label();
@@ -473,6 +499,41 @@ TEST(PolicyEquivalenceTest, PlackettLuceAliasFallbackPreservesTheLawChiSquared) 
   ExpectChiSquaredAgreement(served, reference, "plackett-luce fallback");
 }
 
+// Same acceptance property for the Thompson-promotion family, on both cache
+// branches: the cached path serves the single merged view, the uncached
+// path duels across per-shard views (where the score normalizer is the max
+// head over all views) — both must realize exactly the naive reference law.
+// Statistic: how many of the deterministic top-m pages survive in the
+// served top-m (the duel decides exactly this exchange).
+TEST(PolicyEquivalenceTest, ThompsonPromoServeMatchesMaterializeChiSquared) {
+  const size_t n = 90;
+  const size_t m = 10;
+  const int kTrials = 20000;
+  Fixture fx(n, 20);  // selective pool: the zero-awareness pages
+  const auto policy = MakeThompsonPromotionPolicy(1.0, 2.0, 6.0, 1);
+
+  Ranker ranker(policy);
+  Rng rng(4);
+  ranker.Update(fx.popularity, fx.zero, fx.birth, rng);
+  ASSERT_FALSE(ranker.pool().empty());
+  const std::set<uint32_t> det_top(ranker.deterministic_order().begin(),
+                                   ranker.deterministic_order().begin() + m);
+  const auto stat = [&](const std::vector<uint32_t>& prefix) {
+    size_t hits = 0;
+    for (const uint32_t page : prefix) hits += det_top.count(page);
+    return hits;
+  };
+
+  const std::vector<double> reference =
+      MaterializeCounts(policy, fx, m, kTrials, m + 1, 501, stat);
+  for (const bool cache : {true, false}) {
+    const std::vector<double> served = ServeCounts(
+        policy, fx, n, 4, cache, m, kTrials, m + 1, cache ? 502 : 503, stat);
+    ExpectChiSquaredAgreement(served, reference,
+                              cache ? "ts-promo cached" : "ts-promo uncached");
+  }
+}
+
 // --- Acceptance: the epoch cache is used iff the capabilities allow it ---
 
 TEST(PolicyServingTest, PrefixCacheActiveIffPolicyCapabilitiesAllow) {
@@ -492,6 +553,8 @@ TEST(PolicyServingTest, PrefixCacheActiveIffPolicyCapabilitiesAllow) {
       // server ablation switch still disables it.
       {MakePlackettLucePolicy(0.1), true, true},
       {MakePlackettLucePolicy(0.1), false, false},
+      {MakeThompsonPromotionPolicy(1.0, 3.0, 20.0, 1), true, true},
+      {MakeThompsonPromotionPolicy(1.0, 3.0, 20.0, 1), false, false},
   };
   for (const Case& c : cases) {
     ServeOptions opts;

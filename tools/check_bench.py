@@ -31,15 +31,26 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
   * a missing perf_net point (the net list records the socket-vs-in-process
     coverage), or a net/socket point without a positive network_tax ratio
     against a positive inprocess_qps — the daemon's wire-cost measurement
-    must stay measured, not just present.
+    must stay measured, not just present,
+  * a missing publish-phase span family, or one whose median duration blows
+    its per-phase budget (publish_phase_budget_us records a generous
+    multiple of the observed span/publish/{shards,merge,epoch_state,
+    rcu_publish} medians — a budget alert for order-of-magnitude publish
+    regressions, phase by phase, not just the total),
+  * a missing perf_bai point (the bai list records the adaptive-
+    experimentation coverage), a bai/decide point without a positive
+    decision latency, or a bai/epoch_overhead whose adaptive-vs-fixed
+    overhead exceeds max_bai_epoch_overhead_pct (the decision machinery
+    must stay a rounding error next to serving the epoch's queries).
 
 Absolute QPS varies across runner hardware, so baseline values are
 recorded deliberately low (see --headroom at --update time) and the gate
 only fires on large relative drops. The smoke capture concatenates
-perf_serve and perf_net (one JSONL feed, disjoint bench names). Refresh
-the baseline with:
+perf_serve, perf_net, and perf_bai (one JSONL feed, disjoint bench
+names). Refresh the baseline with:
 
-    { perf_serve --smoke; perf_net --smoke; } | grep '^{' > smoke.jsonl
+    { perf_serve --smoke; perf_net --smoke; perf_bai --smoke; } \
+        | grep '^{' > smoke.jsonl
     tools/check_bench.py smoke.jsonl --update
 
 Usage:
@@ -53,8 +64,15 @@ import sys
 
 
 def load_jsonl(path):
-    """Parses the JSONL lines of a perf run into {bench_name: fields}."""
+    """Parses the JSONL lines of a perf run.
+
+    Returns ({bench_name: fields}, {span_name: [fields, ...]}, errors).
+    Perf records are unique per name (later lines win); span lines
+    ("span/..." bench names, one per emitted trace span) repeat, so they
+    are collected into per-name lists for the phase-budget checks.
+    """
     records = {}
+    spans = {}
     errors = []
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
@@ -70,8 +88,19 @@ def load_jsonl(path):
             if not name:
                 errors.append(f'line {lineno}: missing "bench" key')
                 continue
-            records[name] = record
-    return records, errors
+            if name.startswith("span/"):
+                spans.setdefault(name[len("span/"):], []).append(record)
+            else:
+                records[name] = record
+    return records, spans, errors
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
 def policy_family(bench_name):
@@ -88,7 +117,7 @@ def policy_family(bench_name):
     return label.split("(", 1)[0]
 
 
-def check(records, baseline, tolerance):
+def check(records, spans, baseline, tolerance):
     """Returns (failures, rows) where rows feed the markdown summary."""
     failures = []
     rows = []
@@ -235,6 +264,80 @@ def check(records, baseline, tolerance):
         else:
             rows.append((name, record.get("qps"), None, None, "ok"))
 
+    # Publish-phase budgets: perf_serve's obs:on rep drains its TraceLog into
+    # the JSONL feed, so every epoch publish contributes one span per phase
+    # (span/publish/{shards,merge,epoch_state,rcu_publish,...}). The baseline
+    # records a generous per-phase budget (a multiple of the medians observed
+    # at --update time); the gate fires on a missing phase family or a run
+    # median over budget — a per-phase alert that catches one publish stage
+    # regressing by an order of magnitude even when publish/total still looks
+    # plausible.
+    for phase, budget in sorted(
+            baseline.get("publish_phase_budget_us", {}).items()):
+        phase_spans = spans.get(phase, [])
+        durs = [s["dur_us"] for s in phase_spans if s.get("dur_us", 0) > 0]
+        if not durs:
+            failures.append(
+                f"span/{phase}: no spans in run (publish-phase trace "
+                "coverage lost)"
+            )
+            rows.append((f"span/{phase} p50_us", None, budget, None, "MISSING"))
+            continue
+        p50 = median(durs)
+        ok = p50 <= budget
+        rows.append((f"span/{phase} p50_us", p50, budget, None,
+                     "ok" if ok else "OVER BUDGET"))
+        if not ok:
+            failures.append(
+                f"span/{phase}: median {p50:.1f}us blew the per-phase "
+                f"budget {budget:.1f}us over {len(durs)} spans"
+            )
+
+    # Adaptive-experimentation coverage: the perf_bai points must be present,
+    # each bai/decide point must carry a positive decision latency, and the
+    # epoch-overhead point must show the adaptive loop (BaiController::Step)
+    # staying within max_bai_epoch_overhead_pct of the fixed A/B loop — a
+    # hardware-independent within-run ratio, like the speedup gates above.
+    max_overhead = baseline.get("max_bai_epoch_overhead_pct", 0.0)
+    for name in baseline.get("bai", []):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: bai record missing from run")
+            rows.append((name, None, None, None, "MISSING"))
+            continue
+        if name.startswith("bai/decide"):
+            us = record.get("us_per_decision", 0.0)
+            ok = us > 0.0
+            rows.append((f"{name} us_per_decision", us, None, None,
+                         "ok" if ok else "MISSING"))
+            if not ok:
+                failures.append(
+                    f"{name}: us_per_decision missing or non-positive ({us})"
+                )
+        elif name == "bai/epoch_overhead":
+            fixed_ms = record.get("fixed_ms_per_epoch", 0.0)
+            adaptive_ms = record.get("adaptive_ms_per_epoch", 0.0)
+            overhead = record.get("overhead_pct", 0.0)
+            measured = fixed_ms > 0.0 and adaptive_ms > 0.0
+            within = max_overhead <= 0.0 or overhead <= max_overhead
+            status = "ok" if measured and within else (
+                "MISSING" if not measured else "REGRESSION")
+            rows.append((f"{name} overhead_pct", overhead,
+                         max_overhead if max_overhead > 0.0 else None, None,
+                         status))
+            if not measured:
+                failures.append(
+                    f"{name}: epoch timings missing or non-positive "
+                    f"(fixed_ms={fixed_ms}, adaptive_ms={adaptive_ms})"
+                )
+            elif not within:
+                failures.append(
+                    f"{name}: adaptive epoch overhead {overhead:.1f}% "
+                    f"exceeds {max_overhead:.0f}% of the fixed loop"
+                )
+        else:
+            rows.append((name, record.get("qps"), None, None, "ok"))
+
     # Policy-sweep coverage: every ranking family the baseline records must
     # still emit at least one serve/policy: point (a family silently dropped
     # from the sweep is a gate failure, like a shrunk sweep).
@@ -297,12 +400,32 @@ def write_summary(path, rows, failures):
     print(text)
 
 
-def update_baseline(records, path, tolerance, headroom):
+PUBLISH_PHASES = (
+    "publish/shards",
+    "publish/merge",
+    "publish/epoch_state",
+    "publish/rcu_publish",
+)
+
+
+def update_baseline(records, spans, path, tolerance, headroom):
     qps = {
         name: round(record["qps"] * (1.0 - headroom), 1)
         for name, record in sorted(records.items())
         if "qps" in record and record.get("qps", 0) > 0
     }
+    # Per-phase publish budgets: 25x the observed median (floor 50us) — a
+    # budget *alert* for order-of-magnitude regressions, not a tight bound,
+    # so runner-hardware variance never trips it.
+    phase_budget = {}
+    for phase in PUBLISH_PHASES:
+        durs = [s["dur_us"] for s in spans.get(phase, [])
+                if s.get("dur_us", 0) > 0]
+        if durs:
+            phase_budget[phase] = round(max(median(durs) * 25.0, 50.0), 1)
+        else:
+            print(f"WARNING: no span/{phase} lines in run; phase budget "
+                  "not recorded", file=sys.stderr)
     baseline = {
         "comment": (
             "perf_serve --smoke QPS floors for tools/check_bench.py. Values "
@@ -312,13 +435,20 @@ def update_baseline(records, path, tolerance, headroom):
             "on (or conservatively below) the hardware the gate runs on, "
             "from the min of several runs: tools/check_bench.py r1.jsonl "
             "r2.jsonl r3.jsonl --update. The min_speedup_vs_percall, "
-            "distribution-drift, and policy_families coverage checks are "
-            "hardware-independent."
+            "distribution-drift, policy_families coverage, and bai "
+            "epoch-overhead checks are hardware-independent; "
+            "publish_phase_budget_us records 25x the observed per-phase "
+            "median, a budget alert rather than a tight bound."
         ),
         "tolerance": tolerance if tolerance is not None else 0.30,
         "min_speedup_vs_percall": 2.0,
         "min_pl_alias_speedup": 3.0,
         "min_obs_qps_ratio": 0.95,
+        "max_bai_epoch_overhead_pct": 50.0,
+        "publish_phase_budget_us": phase_budget,
+        "bai": sorted(
+            name for name in records if name.startswith("bai/")
+        ),
         "alias_ablation": sorted(
             name for name in records if name.startswith("serve/pl_alias:")
         ),
@@ -378,8 +508,9 @@ def main():
         return 2
 
     merged = {}
+    merged_spans = {}
     for path in args.jsonl:
-        records, errors = load_jsonl(path)
+        records, spans, errors = load_jsonl(path)
         for error in errors:
             print(f"ERROR: {path}: {error}", file=sys.stderr)
         if not records:
@@ -391,10 +522,14 @@ def main():
             kept = merged.get(name)
             if kept is None or record.get("qps", 0) < kept.get("qps", 0):
                 merged[name] = record
+        for name, span_list in spans.items():
+            merged_spans.setdefault(name, []).extend(span_list)
     records = merged
+    spans = merged_spans
 
     if args.update:
-        update_baseline(records, args.baseline, args.tolerance, args.headroom)
+        update_baseline(records, spans, args.baseline, args.tolerance,
+                        args.headroom)
         return 0
 
     try:
@@ -404,7 +539,7 @@ def main():
         print(f"ERROR: cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
         return 1
 
-    failures, rows = check(records, baseline, args.tolerance)
+    failures, rows = check(records, spans, baseline, args.tolerance)
     write_summary(args.summary, rows, failures)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

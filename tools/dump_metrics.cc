@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "bai/arm_scheduler.h"
+#include "bai/bai_controller.h"
 #include "core/community.h"
 #include "core/policy/policy_factory.h"
 #include "core/ranking_policy.h"
@@ -121,8 +123,10 @@ int main(int argc, char** argv) {
     ExerciseServer(server, state, rng);
   }
 
-  // Experiment layer: two arms, one epoch, so the per-arm serve metrics and
-  // the /live gauge snapshot register.
+  // Experiment layer: two arms, async serving (per-arm BatchQueues →
+  // exp/arm:<name>/queue/*), one adaptive step through the BaiController so
+  // the exp/bai/* decision metrics and per-arm posterior gauges register
+  // alongside the per-arm serve metrics and the /live gauge snapshot.
   {
     std::vector<ArmSpec> arms;
     arms.push_back({"control", MakePolicyFromLabel("none")});
@@ -130,11 +134,22 @@ int main(int argc, char** argv) {
     ExperimentOptions eopts;
     eopts.shards = 2;
     eopts.queries_per_epoch = 200;
+    eopts.async_serving = true;
+    eopts.async_max_batch = 8;
     eopts.metrics = &registry;
     eopts.trace = &trace;
+    const size_t num_arms = arms.size();
     ExperimentManager experiment(community, std::move(arms), eopts);
-    experiment.RunEpoch();
-  }
+    bai::TopTwoThompsonOptions sopts;
+    sopts.min_clicks = 1ULL << 60;  // never eliminate in an inventory run
+    bai::BaiControllerOptions copts;
+    copts.metrics = &registry;
+    copts.trace = &trace;
+    bai::BaiController controller(
+        &experiment, bai::MakeTopTwoThompsonScheduler(num_arms, sopts),
+        copts);
+    controller.Step();
+  }  // BatchQueue consumers join here, flushing their counters
 
   const obs::MetricsSnapshot snap = registry.Snapshot();
   for (const auto& [name, value] : snap.counters) {
