@@ -37,7 +37,10 @@ double VisitRateCurve::operator()(double x) const {
   if (x >= xs_.back()) return fs_.back();
   const double lx = std::log(x);
   const auto it = std::lower_bound(log_xs_.begin(), log_xs_.end(), lx);
-  const auto hi = static_cast<size_t>(it - log_xs_.begin());
+  // log() can round x just above xs_.front() onto log_xs_[0] (hi == 0) or
+  // x just below xs_.back() onto log_xs_.back(); clamp to a valid segment.
+  const size_t hi = std::clamp<size_t>(
+      static_cast<size_t>(it - log_xs_.begin()), 1, log_xs_.size() - 1);
   const size_t lo = hi - 1;
   const double t = (lx - log_xs_[lo]) / (log_xs_[hi] - log_xs_[lo]);
   return std::exp(log_fs_[lo] + t * (log_fs_[hi] - log_fs_[lo]));

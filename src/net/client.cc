@@ -1,17 +1,53 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 namespace randrank::net {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Bounded connect: non-blocking connect + poll, so a black-holed peer
+/// costs `timeout_ms` instead of the kernel's minutes-long default.
+bool ConnectWithTimeout(int fd, const sockaddr_in& addr, int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return false;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    if (::poll(&pfd, 1, timeout_ms) != 1) return false;  // timeout or error
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return false;
+    }
+  }
+  return ::fcntl(fd, F_SETFL, flags) == 0;  // back to blocking reads/writes
+}
+
+}  // namespace
 
 NetClient::~NetClient() { Close(); }
 
@@ -24,8 +60,12 @@ void NetClient::Close() {
 }
 
 bool NetClient::Connect(const std::string& host, uint16_t port, int retries,
-                        int retry_ms, int timeout_ms) {
+                        int retry_ms, int timeout_ms, int connect_timeout_ms) {
   Close();
+  host_ = host;
+  port_ = port;
+  timeout_ms_ = timeout_ms;
+  connect_timeout_ms_ = connect_timeout_ms;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -36,7 +76,12 @@ bool NetClient::Connect(const std::string& host, uint16_t port, int retries,
     }
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) continue;
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const bool connected =
+        connect_timeout_ms > 0
+            ? ConnectWithTimeout(fd_, addr, connect_timeout_ms)
+            : ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0;
+    if (connected) {
       const int one = 1;
       ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       if (timeout_ms > 0) {
@@ -51,6 +96,12 @@ bool NetClient::Connect(const std::string& host, uint16_t port, int retries,
     fd_ = -1;
   }
   return false;
+}
+
+bool NetClient::Reconnect() {
+  if (host_.empty()) return false;
+  return Connect(host_, port_, /*retries=*/0, /*retry_ms=*/0, timeout_ms_,
+                 connect_timeout_ms_);
 }
 
 bool NetClient::WriteAll(const uint8_t* data, size_t size) {
@@ -122,6 +173,7 @@ NetClient::Status NetClient::ReadReply(QueryResult* out, uint64_t* request_id) {
     switch (last_error_.code) {
       case ErrorCode::kOverloaded: return Status::kOverloaded;
       case ErrorCode::kDraining: return Status::kDraining;
+      case ErrorCode::kDeadlineExceeded: return Status::kDeadlineExceeded;
       default: return Status::kError;
     }
   }
@@ -147,6 +199,52 @@ NetClient::Status NetClient::Query(uint32_t m, uint64_t user_id,
   // A reply to some other request on an un-pipelined connection means the
   // stream is desynced.
   if (status == Status::kOk && got_id != sent_id) return Status::kIoError;
+  return status;
+}
+
+NetClient::Status NetClient::QueryWithRetry(uint32_t m, uint64_t user_id,
+                                            QueryResult* out,
+                                            const RetryPolicy& policy) {
+  Status status = Status::kIoError;
+  double backoff_ms = static_cast<double>(policy.initial_backoff_ms);
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      // Exponential backoff with deterministic jitter: the coin comes from
+      // (policy seed, draw index), so a fixed seed replays the exact sleep
+      // schedule while distinct seeds spread thundering herds.
+      const uint64_t bits =
+          SplitMix64(policy.seed ^ SplitMix64(retry_seq_++ + 1));
+      const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+      const double capped =
+          std::min(backoff_ms, static_cast<double>(policy.max_backoff_ms));
+      const double sleep_ms = capped * (1.0 - policy.jitter * u);
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      backoff_ms *= policy.multiplier;
+    }
+    if (fd_ < 0 && !Reconnect()) {
+      status = Status::kIoError;
+      continue;
+    }
+    status = Query(m, user_id, out);
+    switch (status) {
+      case Status::kOk:
+      case Status::kError:
+        return status;  // done, or not retryable
+      case Status::kIoError:
+        // Reset / desync / read timeout: this connection is unusable.
+        // Close now; the next attempt re-dials the remembered endpoint.
+        Close();
+        break;
+      case Status::kOverloaded:
+      case Status::kDraining:
+      case Status::kDeadlineExceeded:
+        break;  // transient shed; the connection is still good
+    }
+  }
   return status;
 }
 

@@ -9,6 +9,21 @@
 
 namespace randrank::net {
 
+/// Bounded retry with exponential backoff + deterministic jitter, for
+/// NetClient::QueryWithRetry. Sleep before attempt k (k >= 2) is
+/// min(initial_backoff_ms * multiplier^(k-2), max_backoff_ms) scaled by
+/// (1 - jitter * u), where u in [0, 1) is a splitmix64 coin drawn from
+/// `seed` and the client's retry sequence — two clients with different
+/// seeds desynchronize, the same seed replays exactly.
+struct RetryPolicy {
+  int max_attempts = 3;
+  uint64_t initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  uint64_t max_backoff_ms = 1000;
+  double jitter = 0.5;  // fraction of the backoff randomized away
+  uint64_t seed = 0;
+};
+
 /// Blocking client for the randrank daemon protocol: framing, pipelining,
 /// and reply matching over one TCP connection. Used by the closed-loop
 /// driver (tools/net_client), the socket-path benches (bench/perf_net), and
@@ -17,11 +32,13 @@ class NetClient {
  public:
   enum class Status {
     kOk,
-    kOverloaded,  // server shed the query (ERROR/OVERLOADED); retry later
-    kDraining,    // server refuses new queries (ERROR/DRAINING)
-    kError,       // other ERROR reply (code/message in last_error())
-    kIoError,     // connect/read/write failure or malformed reply; the
-                  // connection is unusable — Close() and reconnect
+    kOverloaded,         // server shed the query (ERROR/OVERLOADED); retry later
+    kDraining,           // server refuses new queries (ERROR/DRAINING)
+    kDeadlineExceeded,   // query waited past its serving deadline
+                         // (ERROR/DEADLINE_EXCEEDED); retryable
+    kError,              // other ERROR reply (code/message in last_error())
+    kIoError,            // connect/read/write failure or malformed reply; the
+                         // connection is unusable — Close() and reconnect
   };
 
   struct QueryResult {
@@ -35,15 +52,28 @@ class NetClient {
   NetClient& operator=(const NetClient&) = delete;
 
   /// Connects, retrying `retries` times `retry_ms` apart (daemon startup
-  /// races in scripts). `timeout_ms` bounds every subsequent blocking read
-  /// (0 = forever). Returns false when every attempt failed.
+  /// races in scripts). `timeout_ms` bounds every subsequent blocking read,
+  /// `connect_timeout_ms` bounds each connect attempt (a black-holed or
+  /// stalled peer fails the attempt instead of hanging); 0 disables either
+  /// bound. The endpoint is remembered, so QueryWithRetry can reconnect
+  /// after a reset. Returns false when every attempt failed.
   bool Connect(const std::string& host, uint16_t port, int retries = 0,
-               int retry_ms = 100, int timeout_ms = 10000);
+               int retry_ms = 100, int timeout_ms = 10000,
+               int connect_timeout_ms = 5000);
   bool connected() const { return fd_ >= 0; }
   void Close();
 
   /// One blocking round-trip: QUERY then its reply.
   Status Query(uint32_t m, uint64_t user_id, QueryResult* out);
+
+  /// Query with bounded retry on transient failures — OVERLOADED, DRAINING,
+  /// and DEADLINE_EXCEEDED replies back off and retry on the same
+  /// connection; an IO error (reset, desync, timeout) closes and reconnects
+  /// to the remembered endpoint first. Returns the final attempt's status:
+  /// kOk, a non-retryable kError, or the transient status that exhausted
+  /// max_attempts.
+  Status QueryWithRetry(uint32_t m, uint64_t user_id, QueryResult* out,
+                        const RetryPolicy& policy = RetryPolicy());
 
   /// Pipelining halves: send without waiting, then collect replies in
   /// order. `request_id` (returned by SendQuery) matches `ReadReply`'s.
@@ -67,8 +97,17 @@ class NetClient {
   bool WriteAll(const uint8_t* data, size_t size);
   /// Blocking read of the next complete frame into header_/payload_.
   bool ReadFrame();
+  /// Re-dials the endpoint Connect() remembered (single attempt).
+  bool Reconnect();
 
   int fd_ = -1;
+  /// Remembered endpoint + bounds for Reconnect().
+  std::string host_;
+  uint16_t port_ = 0;
+  int timeout_ms_ = 0;
+  int connect_timeout_ms_ = 0;
+  /// Monotone draw index for the deterministic retry jitter stream.
+  uint64_t retry_seq_ = 0;
   uint64_t next_request_id_ = 1;
   std::vector<uint8_t> rbuf_;
   FrameHeader header_;

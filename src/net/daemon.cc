@@ -8,12 +8,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -75,6 +77,7 @@ NetDaemon::NetDaemon(ShardedRankServer& server, NetDaemonOptions options)
     replies_ctr_ = &reg.GetCounter(p + "replies");
     shed_ctr_ = &reg.GetCounter(p + "shed_overloaded");
     draining_ctr_ = &reg.GetCounter(p + "rejected_draining");
+    deadline_ctr_ = &reg.GetCounter(p + "deadline_exceeded");
     bad_ctr_ = &reg.GetCounter(p + "bad_frames");
     scrapes_ctr_ = &reg.GetCounter(p + "scrapes");
     health_ctr_ = &reg.GetCounter(p + "health_checks");
@@ -200,6 +203,7 @@ NetDaemonStats NetDaemon::stats() const {
   s.replies = replies_.load(std::memory_order_relaxed);
   s.shed_overloaded = shed_overloaded_.load(std::memory_order_relaxed);
   s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
   s.scrapes = scrapes_.load(std::memory_order_relaxed);
   s.health_checks = health_checks_.load(std::memory_order_relaxed);
@@ -432,6 +436,8 @@ bool NetDaemon::ParseFrames(const std::shared_ptr<Connection>& conn) {
         reply.epoch = server_.epoch();
         reply.inflight = inflight_.load(std::memory_order_acquire);
         reply.queries = replies_.load(std::memory_order_relaxed);
+        reply.degraded = server_.degraded();
+        reply.stale_epochs = server_.epochs_since_publish();
         std::vector<uint8_t> bytes;
         AppendHealthReply(reply, &bytes);
         ReplyNow(conn, bytes);
@@ -485,7 +491,24 @@ void NetDaemon::HandleQuery(const std::shared_ptr<Connection>& conn,
   const uint64_t request_id = query.request_id;
   const uint32_t m = query.m;
   const bool accepted = queue_->Submit(
-      m, [this, conn, request_id, m, t0](std::vector<uint32_t> results) {
+      m, [this, conn, request_id, m, t0](QueryOutcome outcome,
+                                         std::vector<uint32_t> results) {
+        if (outcome == QueryOutcome::kDeadlineExpired) {
+          // Explicit timeout instead of a silent empty answer. Encoded here
+          // and enqueued (never ReplyNow — this is the consumer thread; only
+          // the event loop touches the socket).
+          ErrorFrame error;
+          error.request_id = request_id;
+          error.code = ErrorCode::kDeadlineExceeded;
+          error.message = "query deadline expired before serving";
+          std::vector<uint8_t> bytes;
+          AppendError(error, &bytes);
+          EnqueueReply(conn, bytes);
+          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          if (deadline_ctr_ != nullptr) deadline_ctr_->Add();
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          return;
+        }
         QueryReplyFrame reply;
         reply.request_id = request_id;
         reply.epoch = server_.epoch();
@@ -579,8 +602,33 @@ void NetDaemon::FlushWrites(const std::shared_ptr<Connection>& conn) {
     conn->in_flush_list = false;
   }
   while (conn->woff < conn->wbuf.size()) {
-    const ssize_t n = ::write(conn->fd, conn->wbuf.data() + conn->woff,
-                              conn->wbuf.size() - conn->woff);
+    size_t want = conn->wbuf.size() - conn->woff;
+    // Fault site: partial writes (short-write path coverage), injected
+    // connection resets, and slow writes on the reply stream. Event-loop
+    // thread only, like every real write here.
+    {
+      static constexpr uint64_t kHash = fault::Hash(fault::kNetWrite);
+      fault::Decision decision;
+      if (fault::Check(fault::kNetWrite, kHash, /*epoch=*/0, &decision)) {
+        switch (decision.action) {
+          case fault::Action::kDelay:
+            fault::ApplyDelay(decision);
+            break;
+          case fault::Action::kPartialWrite:
+            want = std::min<size_t>(
+                want, static_cast<size_t>(std::max<uint64_t>(1, decision.bytes)));
+            break;
+          case fault::Action::kReset:
+          case fault::Action::kFail:
+            // Hard-close mid-stream: the peer sees EOF/ECONNRESET with the
+            // reply possibly half-written — exactly the failure a retrying
+            // client must survive.
+            CloseConnection(conn->fd);
+            return;
+        }
+      }
+    }
+    const ssize_t n = ::write(conn->fd, conn->wbuf.data() + conn->woff, want);
     if (n > 0) {
       conn->woff += static_cast<size_t>(n);
       bytes_written_.fetch_add(static_cast<uint64_t>(n),

@@ -68,6 +68,9 @@ struct NetDaemonStats {
   uint64_t replies = 0;
   uint64_t shed_overloaded = 0;
   uint64_t rejected_draining = 0;
+  /// Queries answered with ERROR/DEADLINE_EXCEEDED because they waited past
+  /// the queue's per-query deadline (BatchQueueOptions::deadline_us).
+  uint64_t deadline_exceeded = 0;
   uint64_t bad_frames = 0;
   uint64_t scrapes = 0;
   uint64_t health_checks = 0;
@@ -209,6 +212,7 @@ class NetDaemon {
   std::atomic<uint64_t> replies_{0};
   std::atomic<uint64_t> shed_overloaded_{0};
   std::atomic<uint64_t> rejected_draining_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> bad_frames_{0};
   std::atomic<uint64_t> scrapes_{0};
   std::atomic<uint64_t> health_checks_{0};
@@ -224,6 +228,7 @@ class NetDaemon {
   obs::Counter* replies_ctr_ = nullptr;
   obs::Counter* shed_ctr_ = nullptr;
   obs::Counter* draining_ctr_ = nullptr;
+  obs::Counter* deadline_ctr_ = nullptr;
   obs::Counter* bad_ctr_ = nullptr;
   obs::Counter* scrapes_ctr_ = nullptr;
   obs::Counter* health_ctr_ = nullptr;

@@ -131,6 +131,8 @@ void AppendHealthReply(const HealthReplyFrame& frame,
   PutU64(frame.epoch, out);
   PutU64(frame.inflight, out);
   PutU64(frame.queries, out);
+  out->push_back(frame.degraded ? 1 : 0);
+  PutU64(frame.stale_epochs, out);
   w.Finish();
 }
 
@@ -186,16 +188,20 @@ bool DecodeHealth(const uint8_t* /*payload*/, size_t len,
 
 bool DecodeHealthReply(const uint8_t* payload, size_t len,
                        HealthReplyFrame* out) {
-  if (len != 25) return false;
+  if (len != 34) return false;
   const uint8_t status = payload[0];
   if (status != static_cast<uint8_t>(HealthStatus::kServing) &&
       status != static_cast<uint8_t>(HealthStatus::kDraining)) {
     return false;
   }
+  const uint8_t degraded = payload[25];
+  if (degraded > 1) return false;
   out->status = static_cast<HealthStatus>(status);
   out->epoch = GetU64(payload + 1);
   out->inflight = GetU64(payload + 9);
   out->queries = GetU64(payload + 17);
+  out->degraded = degraded != 0;
+  out->stale_epochs = GetU64(payload + 26);
   return true;
 }
 
@@ -204,7 +210,7 @@ bool DecodeError(const uint8_t* payload, size_t len, ErrorFrame* out) {
   out->request_id = GetU64(payload);
   const uint16_t code = GetU16(payload + 8);
   if (code < static_cast<uint16_t>(ErrorCode::kBadFrame) ||
-      code > static_cast<uint16_t>(ErrorCode::kDraining)) {
+      code > static_cast<uint16_t>(ErrorCode::kDeadlineExceeded)) {
     return false;
   }
   out->code = static_cast<ErrorCode>(code);
@@ -235,6 +241,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kBadType: return "BAD_TYPE";
     case ErrorCode::kOverloaded: return "OVERLOADED";
     case ErrorCode::kDraining: return "DRAINING";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -62,6 +62,9 @@ enum class ErrorCode : uint16_t {
   kOverloaded = 4,          // admission control shed this query (retryable)
   kDraining = 5,            // server is draining; no new queries (retryable
                             // against another instance)
+  kDeadlineExceeded = 6,    // the query waited past its serving deadline and
+                            // was shed with an explicit timeout (retryable;
+                            // the connection stays open)
 };
 
 /// HEALTH_REPLY status values.
@@ -108,16 +111,22 @@ struct MetricsReplyFrame {
 /// HEALTH payload (0 bytes).
 struct HealthFrame {};
 
-/// HEALTH_REPLY payload (25 bytes):
+/// HEALTH_REPLY payload (34 bytes):
 ///   u8  status       HealthStatus
 ///   u64 epoch        currently served epoch (0 before the first publish)
 ///   u64 inflight     queries accepted but not yet answered
 ///   u64 queries      queries answered since start
+///   u8  degraded     1 when the most recent epoch publish failed and the
+///                    server is still serving the previous snapshot
+///   u64 stale_epochs consecutive failed publishes since the last success
+///                    (0 when not degraded)
 struct HealthReplyFrame {
   HealthStatus status = HealthStatus::kServing;
   uint64_t epoch = 0;
   uint64_t inflight = 0;
   uint64_t queries = 0;
+  bool degraded = false;
+  uint64_t stale_epochs = 0;
 };
 
 /// ERROR payload (14 + message_len bytes):

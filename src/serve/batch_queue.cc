@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,6 +20,7 @@ BatchQueue::BatchQueue(ShardedRankServer& server, BatchQueueOptions options)
     full_ctr_ = &reg.GetCounter(p + "/full_drains");
     deadline_ctr_ = &reg.GetCounter(p + "/deadline_drains");
     greedy_ctr_ = &reg.GetCounter(p + "/greedy_drains");
+    expired_ctr_ = &reg.GetCounter(p + "/deadline_expired");
     depth_gauge_ = &reg.GetGauge(p + "/depth");
     max_depth_gauge_ = &reg.GetGauge(p + "/max_depth");
     max_batch_gauge_ = &reg.GetGauge(p + "/max_batch");
@@ -43,8 +45,8 @@ std::future<std::vector<uint32_t>> BatchQueue::Submit(size_t m) {
   return result;
 }
 
-bool BatchQueue::Submit(size_t m,
-                        std::function<void(std::vector<uint32_t>)> done) {
+bool BatchQueue::Submit(
+    size_t m, std::function<void(QueryOutcome, std::vector<uint32_t>)> done) {
   PendingQuery query;
   query.m = m;
   query.callback = std::move(done);
@@ -52,6 +54,12 @@ bool BatchQueue::Submit(size_t m,
 }
 
 bool BatchQueue::Enqueue(PendingQuery&& query) {
+  if (opts_.deadline_us > 0) {
+    // Stamped before the backpressure wait, so time spent blocked on a full
+    // queue burns the deadline (overload sheds instead of serving stale).
+    query.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(opts_.deadline_us);
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (opts_.max_pending > 0) {
@@ -80,6 +88,7 @@ BatchQueueStats BatchQueue::stats() const {
   stats.full_drains = full_drains_.load(std::memory_order_relaxed);
   stats.deadline_drains = deadline_drains_.load(std::memory_order_relaxed);
   stats.greedy_drains = greedy_drains_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -95,6 +104,15 @@ void BatchQueue::Stop() {
   submitted_.notify_all();
   drained_.notify_all();
   if (to_join.joinable()) to_join.join();
+}
+
+void BatchQueue::CompleteExpired(PendingQuery& query) {
+  if (query.has_promise) {
+    query.promise.set_exception(std::make_exception_ptr(
+        DeadlineExceededError("query deadline expired before pickup")));
+  } else if (query.callback) {
+    query.callback(QueryOutcome::kDeadlineExpired, {});
+  }
 }
 
 void BatchQueue::ConsumerLoop() {
@@ -159,6 +177,39 @@ void BatchQueue::ConsumerLoop() {
       }
     }
 
+    // Fault site (delay-only): a stalled consumer, to drive queries past
+    // their deadlines deterministically in tests and chaos runs.
+    {
+      static constexpr uint64_t kHash = fault::Hash(fault::kQueueServe);
+      fault::Decision decision;
+      if (fault::Check(fault::kQueueServe, kHash, /*epoch=*/0, &decision)) {
+        fault::ApplyDelay(decision);
+      }
+    }
+
+    if (opts_.deadline_us > 0) {
+      // Expiry sweep at pickup: queries past their deadline complete with an
+      // explicit timeout (exception / kDeadlineExpired) and never reach
+      // ServeBatch; survivors compact in submission order.
+      const auto now = std::chrono::steady_clock::now();
+      size_t kept = 0;
+      uint64_t expired = 0;
+      for (size_t i = 0; i < draining.size(); ++i) {
+        if (now >= draining[i].deadline) {
+          CompleteExpired(draining[i]);
+          ++expired;
+        } else {
+          if (kept != i) draining[kept] = std::move(draining[i]);
+          ++kept;
+        }
+      }
+      if (expired > 0) {
+        draining.resize(kept);
+        deadline_expired_.fetch_add(expired, std::memory_order_relaxed);
+        if (expired_ctr_ != nullptr) expired_ctr_->Add(expired);
+      }
+    }
+
     // Fold runs of same-m queries into one ServeBatch each: every query is
     // still an independent realization from this context's Rng stream, in
     // submission order, so batching is invisible in the results.
@@ -178,7 +229,7 @@ void BatchQueue::ConsumerLoop() {
         if (query.has_promise) {
           query.promise.set_value(std::move(batch.results[i]));
         } else if (query.callback) {
-          query.callback(std::move(batch.results[i]));
+          query.callback(QueryOutcome::kServed, std::move(batch.results[i]));
         }
       }
       queries_served_.fetch_add(count, std::memory_order_relaxed);

@@ -29,12 +29,21 @@ struct BatchQueueOptions {
   /// delay trades per-query latency for fuller batches under light load
   /// (fewer view pins per query); it never delays a full batch.
   uint64_t max_delay_us = 0;
+  /// Per-query deadline, stamped at Submit. A query whose deadline has
+  /// already passed when the consumer picks it up is not served: its future
+  /// resolves with a DeadlineExceededError, its callback runs with
+  /// QueryOutcome::kDeadlineExpired and an empty result — an explicit
+  /// timeout, never a silent wrong answer and never a hang. 0 (default)
+  /// disables deadlines. Time spent blocked on backpressure counts against
+  /// the deadline: under overload, queued-too-long work is shed instead of
+  /// served stale.
+  uint64_t deadline_us = 0;
   /// Observability (optional, borrowed): with `metrics` set the queue
   /// records per-query queue wait (submit -> drain pickup) into the
   /// histogram `<obs_prefix>/wait_ns` and mirrors every BatchQueueStats
   /// counter as registry metrics (`<obs_prefix>/queries_total`,
-  /// `batches_total`, `full_drains`, `deadline_drains`, `greedy_drains`
-  /// counters; `depth`, `max_depth`, `max_batch` gauges) — the one export
+  /// `batches_total`, `full_drains`, `deadline_drains`, `greedy_drains`,
+  /// `deadline_expired` counters; `depth`, `max_depth`, `max_batch` gauges) — the one export
   /// path live monitoring reads, instead of hand-copying stats() fields.
   obs::MetricsRegistry* metrics = nullptr;
   /// With `trace` also set, drains emit sampled "queue/drain" spans (depth,
@@ -59,6 +68,9 @@ struct BatchQueueStats {
   uint64_t full_drains = 0;
   uint64_t deadline_drains = 0;
   uint64_t greedy_drains = 0;
+  /// Queries completed with an explicit timeout (deadline_us exceeded
+  /// before pickup) instead of being served.
+  uint64_t deadline_expired = 0;
 
   /// Mean queries per ServeBatch execution.
   double mean_batch_size() const {
@@ -67,6 +79,21 @@ struct BatchQueueStats {
                      static_cast<double>(batches_served)
                : 0.0;
   }
+};
+
+/// How a queued query ended, for the callback Submit flavor.
+enum class QueryOutcome : uint8_t {
+  kServed,           // results hold the realized top-m
+  kDeadlineExpired,  // deadline_us elapsed before pickup; results are empty
+};
+
+/// Resolves the future of a query whose BatchQueueOptions::deadline_us
+/// expired before the consumer picked it up. The explicit-timeout contract:
+/// expired queries fail loudly instead of returning an empty (wrong) list.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 /// Async submission front-end for ShardedRankServer: a multi-producer,
@@ -94,15 +121,18 @@ class BatchQueue {
   BatchQueue(const BatchQueue&) = delete;
   BatchQueue& operator=(const BatchQueue&) = delete;
 
-  /// Enqueues a top-m query; the future resolves to the served result list.
-  /// Blocks only for backpressure. After Stop() the returned future is
-  /// already resolved with an empty list.
+  /// Enqueues a top-m query; the future resolves to the served result list,
+  /// or throws DeadlineExceededError if the query's deadline_us expired
+  /// before pickup. Blocks only for backpressure. After Stop() the returned
+  /// future is already resolved with an empty list.
   std::future<std::vector<uint32_t>> Submit(size_t m);
 
   /// Callback flavor (no promise/future overhead): `done` runs on the
-  /// consumer thread with the served results. Returns false (and drops the
-  /// query without invoking `done`) after Stop().
-  bool Submit(size_t m, std::function<void(std::vector<uint32_t>)> done);
+  /// consumer thread with the outcome and the served results (empty on
+  /// kDeadlineExpired). Returns false (and drops the query without invoking
+  /// `done`) after Stop().
+  bool Submit(size_t m,
+              std::function<void(QueryOutcome, std::vector<uint32_t>)> done);
 
   /// Rejects new submissions, serves everything already queued, and joins
   /// the consumer. Idempotent and safe to call from several threads (one
@@ -120,6 +150,9 @@ class BatchQueue {
   uint64_t batches_served() const {
     return batches_served_.load(std::memory_order_relaxed);
   }
+  uint64_t deadline_expired() const {
+    return deadline_expired_.load(std::memory_order_relaxed);
+  }
 
   /// Occupancy counters so deadline/batch knobs can be tuned from
   /// measurement instead of folklore. Thread-safe; totals are relaxed reads.
@@ -132,9 +165,15 @@ class BatchQueue {
     /// Submission stamp for the queue-wait histogram; 0 (never taken) when
     /// the queue runs without a registry.
     uint64_t submitted_ns = 0;
+    /// Absolute expiry (submit + deadline_us); epoch value (never stamped)
+    /// when the queue runs without deadlines.
+    std::chrono::steady_clock::time_point deadline{};
     std::promise<std::vector<uint32_t>> promise;
-    std::function<void(std::vector<uint32_t>)> callback;
+    std::function<void(QueryOutcome, std::vector<uint32_t>)> callback;
   };
+
+  /// Completes one expired query with its explicit timeout.
+  static void CompleteExpired(PendingQuery& query);
 
   bool Enqueue(PendingQuery&& query);
   void ConsumerLoop();
@@ -158,6 +197,7 @@ class BatchQueue {
   std::atomic<uint64_t> full_drains_{0};
   std::atomic<uint64_t> deadline_drains_{0};
   std::atomic<uint64_t> greedy_drains_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
 
   /// Registry endpoints, resolved once at construction (all null when
   /// opts_.metrics is null). Only the consumer thread writes them, except
@@ -168,6 +208,7 @@ class BatchQueue {
   obs::Counter* full_ctr_ = nullptr;
   obs::Counter* deadline_ctr_ = nullptr;
   obs::Counter* greedy_ctr_ = nullptr;
+  obs::Counter* expired_ctr_ = nullptr;
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Gauge* max_depth_gauge_ = nullptr;
   obs::Gauge* max_batch_gauge_ = nullptr;

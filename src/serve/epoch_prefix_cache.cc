@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/rank_merge.h"
+#include "fault/fault.h"
 
 namespace randrank {
 
@@ -12,6 +13,10 @@ std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
   using Clock = std::chrono::steady_clock;
   const Clock::time_point build_start =
       timings != nullptr ? Clock::now() : Clock::time_point();
+  // Fault site: a kFail rule here aborts the merge phase (the caller's
+  // transactional publish rolls back); kDelay simulates a slow merge.
+  fault::CheckAbortable(fault::kPublishMerge, fault::Hash(fault::kPublishMerge),
+                        view.epoch);
   auto cache = std::make_shared<EpochPrefixCache>();
   cache->epoch = view.epoch;
 
@@ -48,6 +53,10 @@ std::shared_ptr<const EpochPrefixCache> EpochPrefixCache::Build(
 
   const Clock::time_point merge_done =
       timings != nullptr ? Clock::now() : Clock::time_point();
+
+  // Fault site: abort or slow the epoch-state phase specifically.
+  fault::CheckAbortable(fault::kPublishEpochState,
+                        fault::Hash(fault::kPublishEpochState), view.epoch);
 
   // Policy-owned per-epoch state over the *merged* global view — distinct
   // from the per-shard states the snapshots carry, because the cached serve

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "core/policy/promotion_policy.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/epoch_prefix_cache.h"
@@ -42,6 +43,17 @@ ShardedRankServer::ShardedRankServer(
   for (uint32_t p = 0; p < num_pages; ++p) {
     shard_pages_[p % shard_pages_.size()].push_back(p);
   }
+  if (opts_.metrics != nullptr) {
+    // Failure-path endpoints are resolved (and the gauges zeroed) up front,
+    // so a scrape sees them before any publish has failed.
+    publish_failures_ctr_ =
+        &opts_.metrics->GetCounter(opts_.obs_prefix + "/publish_failures");
+    degraded_gauge_ = &opts_.metrics->GetGauge(opts_.obs_prefix + "/degraded");
+    stale_epochs_gauge_ =
+        &opts_.metrics->GetGauge(opts_.obs_prefix + "/epochs_since_publish");
+    degraded_gauge_->Set(0.0);
+    stale_epochs_gauge_->Set(0.0);
+  }
 }
 
 ShardedRankServer::ShardedRankServer(RankPromotionConfig config,
@@ -65,14 +77,14 @@ bool ShardedRankServer::PrefixCacheActive() const {
   return view != nullptr && view->cache != nullptr;
 }
 
-void ShardedRankServer::Update(const std::vector<double>& popularity,
+bool ShardedRankServer::Update(const std::vector<double>& popularity,
                                const std::vector<uint8_t>& zero_awareness,
                                const std::vector<int64_t>& birth_step,
                                ThreadPool* pool) {
-  Update(popularity, zero_awareness, birth_step, nullptr, pool);
+  return Update(popularity, zero_awareness, birth_step, nullptr, pool);
 }
 
-void ShardedRankServer::Update(
+bool ShardedRankServer::Update(
     const std::vector<double>& popularity,
     const std::vector<uint8_t>& zero_awareness,
     const std::vector<int64_t>& birth_step,
@@ -86,6 +98,10 @@ void ShardedRankServer::Update(
   const Clock::time_point publish_start = Clock::now();
   const bool swapping = new_policy != nullptr;
   double swap_us = 0.0;
+  // Rollback anchor: if any build phase below throws, the pending policy
+  // reverts to this, nothing is published, and the previous epoch keeps
+  // serving — the publish is transactional.
+  const std::shared_ptr<const StochasticRankingPolicy> prev_policy = policy_;
   if (swapping) {
     // Hot-swap: the new policy ranks this epoch and every later one. It is
     // only ever observed through the view published below, so in-flight
@@ -98,93 +114,137 @@ void ShardedRankServer::Update(
   }
 
   const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
-  auto view = std::make_shared<ServingView>();
-  view->epoch = epoch;
-  view->policy = policy_;
-  view->shards.resize(shard_pages_.size());
+  try {
+    auto view = std::make_shared<ServingView>();
+    view->epoch = epoch;
+    view->policy = policy_;
+    view->shards.resize(shard_pages_.size());
 
-  // Each shard build gets a forked rng so parallel builds stay independent
-  // and the build is deterministic given the writer stream.
-  std::vector<Rng> build_rngs;
-  build_rngs.reserve(shard_pages_.size());
-  for (size_t s = 0; s < shard_pages_.size(); ++s) {
-    build_rngs.push_back(writer_rng_.Fork());
-  }
+    // Fault site: abort (kFail) or slow (kDelay) the shard-build phase.
+    fault::CheckAbortable(fault::kPublishShards,
+                          fault::Hash(fault::kPublishShards), epoch);
 
-  auto build_shard = [&](size_t s) {
-    // Per-shard epoch state is skipped: server queries consume only the
-    // EpochPrefixCache's global state (cached path) or none (per-query
-    // path), never a shard-local one.
-    view->shards[s] = RankSnapshot::Build(
-        policy_, epoch, shard_pages_[s], popularity, zero_awareness,
-        birth_step, build_rngs[s], /*build_epoch_state=*/false);
-  };
-  const Clock::time_point shards_start = Clock::now();
-  if (pool != nullptr && shard_pages_.size() > 1) {
-    ParallelFor(*pool, shard_pages_.size(), build_shard);
-  } else {
-    for (size_t s = 0; s < shard_pages_.size(); ++s) build_shard(s);
-  }
-  const Clock::time_point shards_done = Clock::now();
-
-  // The cache participates only when the policy declares the epoch_state
-  // capability: the materialized global merge order plus whatever the
-  // policy's BuildEpochState derives from it (promotion's splice inputs,
-  // Plackett-Luce's alias table, epsilon-tail's cached head). Families
-  // without it fall back to the per-query sharded path.
-  EpochPrefixCache::BuildPhaseTimings cache_timings;
-  if (opts_.enable_prefix_cache && policy_->Capabilities().epoch_state) {
-    view->cache =
-        EpochPrefixCache::Build(*view, tracing ? &cache_timings : nullptr);
-  }
-  const bool cached = view->cache != nullptr;
-
-  view->obs = BuildObsHooks(cached);
-  const Clock::time_point rcu_start = Clock::now();
-  store_.Publish(std::move(view));
-  epoch_.store(epoch, std::memory_order_release);
-  const Clock::time_point publish_done = Clock::now();
-
-  if (opts_.metrics != nullptr) {
-    const uint64_t publish_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(publish_done -
-                                                             publish_start)
-            .count());
-    opts_.metrics->GetHistogram(opts_.obs_prefix + "/publish_ns")
-        .Record(publish_ns);
-    opts_.metrics->GetCounter(opts_.obs_prefix + "/publishes").Add();
-    opts_.metrics->GetGauge(opts_.obs_prefix + "/epoch")
-        .Set(static_cast<double>(epoch));
-  }
-  if (tracing) {
-    // Per-phase publish spans, one line each, always emitted (publishes are
-    // rare): shard re-sort, merge + BuildEpochState (zero-duration when the
-    // cache is off), the policy swap when one rode this publish, the RCU
-    // pointer swap, and the whole publish as the parent span.
-    const auto e = static_cast<double>(epoch);
-    const auto s = static_cast<double>(shard_pages_.size());
-    const double sw = swapping ? 1.0 : 0.0;
-    obs::TraceLog& trace = *opts_.trace;
-    trace.EmitSpan("publish/shards", MicrosBetween(shards_start, shards_done),
-                   {{"epoch", e}, {"shards", s}});
-    if (cached) {
-      trace.EmitSpan("publish/merge", cache_timings.merge_us,
-                     {{"epoch", e}, {"shards", s}});
-      trace.EmitSpan("publish/epoch_state", cache_timings.epoch_state_us,
-                     {{"epoch", e}});
+    // Each shard build gets a forked rng so parallel builds stay independent
+    // and the build is deterministic given the writer stream.
+    std::vector<Rng> build_rngs;
+    build_rngs.reserve(shard_pages_.size());
+    for (size_t s = 0; s < shard_pages_.size(); ++s) {
+      build_rngs.push_back(writer_rng_.Fork());
     }
-    if (swapping) {
-      trace.EmitSpan("publish/policy_swap", swap_us, {{"epoch", e}},
+
+    auto build_shard = [&](size_t s) {
+      // Per-shard epoch state is skipped: server queries consume only the
+      // EpochPrefixCache's global state (cached path) or none (per-query
+      // path), never a shard-local one.
+      view->shards[s] = RankSnapshot::Build(
+          policy_, epoch, shard_pages_[s], popularity, zero_awareness,
+          birth_step, build_rngs[s], /*build_epoch_state=*/false);
+    };
+    const Clock::time_point shards_start = Clock::now();
+    if (pool != nullptr && shard_pages_.size() > 1) {
+      ParallelFor(*pool, shard_pages_.size(), build_shard);
+    } else {
+      for (size_t s = 0; s < shard_pages_.size(); ++s) build_shard(s);
+    }
+    const Clock::time_point shards_done = Clock::now();
+
+    // The cache participates only when the policy declares the epoch_state
+    // capability: the materialized global merge order plus whatever the
+    // policy's BuildEpochState derives from it (promotion's splice inputs,
+    // Plackett-Luce's alias table, epsilon-tail's cached head). Families
+    // without it fall back to the per-query sharded path. Carries the
+    // publish.merge / publish.epoch_state fault sites internally.
+    EpochPrefixCache::BuildPhaseTimings cache_timings;
+    if (opts_.enable_prefix_cache && policy_->Capabilities().epoch_state) {
+      view->cache =
+          EpochPrefixCache::Build(*view, tracing ? &cache_timings : nullptr);
+    }
+    const bool cached = view->cache != nullptr;
+
+    view->obs = BuildObsHooks(cached);
+    // Fault site: the last abort point before the irreversible RCU swap —
+    // past here the epoch is published and cannot roll back by design.
+    fault::CheckAbortable(fault::kPublishRcu, fault::Hash(fault::kPublishRcu),
+                          epoch);
+    const Clock::time_point rcu_start = Clock::now();
+    store_.Publish(std::move(view));
+    epoch_.store(epoch, std::memory_order_release);
+    const Clock::time_point publish_done = Clock::now();
+
+    if (failed_since_success_.load(std::memory_order_relaxed) != 0) {
+      // Recovery: the first clean publish after failures clears the
+      // degraded state (queries are fresh again).
+      failed_since_success_.store(0, std::memory_order_relaxed);
+      if (degraded_gauge_ != nullptr) {
+        degraded_gauge_->Set(0.0);
+        stale_epochs_gauge_->Set(0.0);
+      }
+    }
+    if (opts_.metrics != nullptr) {
+      const uint64_t publish_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(publish_done -
+                                                               publish_start)
+              .count());
+      opts_.metrics->GetHistogram(opts_.obs_prefix + "/publish_ns")
+          .Record(publish_ns);
+      opts_.metrics->GetCounter(opts_.obs_prefix + "/publishes").Add();
+      opts_.metrics->GetGauge(opts_.obs_prefix + "/epoch")
+          .Set(static_cast<double>(epoch));
+    }
+    if (tracing) {
+      // Per-phase publish spans, one line each, always emitted (publishes are
+      // rare): shard re-sort, merge + BuildEpochState (zero-duration when the
+      // cache is off), the policy swap when one rode this publish, the RCU
+      // pointer swap, and the whole publish as the parent span.
+      const auto e = static_cast<double>(epoch);
+      const auto s = static_cast<double>(shard_pages_.size());
+      const double sw = swapping ? 1.0 : 0.0;
+      obs::TraceLog& trace = *opts_.trace;
+      trace.EmitSpan("publish/shards", MicrosBetween(shards_start, shards_done),
+                     {{"epoch", e}, {"shards", s}});
+      if (cached) {
+        trace.EmitSpan("publish/merge", cache_timings.merge_us,
+                       {{"epoch", e}, {"shards", s}});
+        trace.EmitSpan("publish/epoch_state", cache_timings.epoch_state_us,
+                       {{"epoch", e}});
+      }
+      if (swapping) {
+        trace.EmitSpan("publish/policy_swap", swap_us, {{"epoch", e}},
+                       {{"family", FamilySlug(policy_->Label())}});
+      }
+      trace.EmitSpan("publish/rcu_publish",
+                     MicrosBetween(rcu_start, publish_done), {{"epoch", e}});
+      trace.EmitSpan("publish/total",
+                     MicrosBetween(publish_start, publish_done),
+                     {{"epoch", e},
+                      {"shards", s},
+                      {"swap", sw},
+                      {"cached", cached ? 1.0 : 0.0}},
                      {{"family", FamilySlug(policy_->Label())}});
     }
-    trace.EmitSpan("publish/rcu_publish",
-                   MicrosBetween(rcu_start, publish_done), {{"epoch", e}});
-    trace.EmitSpan("publish/total", MicrosBetween(publish_start, publish_done),
-                   {{"epoch", e},
-                    {"shards", s},
-                    {"swap", sw},
-                    {"cached", cached ? 1.0 : 0.0}},
-                   {{"family", FamilySlug(policy_->Label())}});
+    return true;
+  } catch (const std::exception& ex) {
+    // Transactional rollback: nothing was published (store_ and epoch_ are
+    // only touched after the last abortable site), so readers keep serving
+    // the previous snapshot bit-identically. A policy swap that rode this
+    // failed publish is undone too — it never became observable.
+    if (swapping) policy_ = prev_policy;
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t stale =
+        failed_since_success_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (opts_.metrics != nullptr) {
+      publish_failures_ctr_->Add();
+      degraded_gauge_->Set(1.0);
+      stale_epochs_gauge_->Set(static_cast<double>(stale));
+    }
+    if (tracing) {
+      opts_.trace->EmitSpan(
+          "publish/aborted", MicrosBetween(publish_start, Clock::now()),
+          {{"epoch", static_cast<double>(epoch)},
+           {"stale_epochs", static_cast<double>(stale)}},
+          {{"reason", ex.what()}});
+    }
+    return false;
   }
 }
 
@@ -305,6 +365,18 @@ size_t ShardedRankServer::ServeOne(Context& ctx, const ServingView& view,
 size_t ShardedRankServer::ServeUninstrumented(
     Context& ctx, const ServingView& view, size_t m,
     std::vector<uint32_t>* out) const {
+  // Hot-path fault site, delay-only (slow-shard simulation) — queries are
+  // never failed here, so a chaos run's answers stay correct. Disabled cost
+  // is one relaxed load + branch; an armed-but-inert injector adds a single
+  // mask test. Both are priced by bench/perf_fault and gated <= 1% in
+  // check_bench.py.
+  {
+    static constexpr uint64_t kHash = fault::Hash(fault::kServeQuery);
+    fault::Decision decision;
+    if (fault::Check(fault::kServeQuery, kHash, view.epoch, &decision)) {
+      fault::ApplyDelay(decision);
+    }
+  }
   // Dispatch through the policy the pinned view was built with — not any
   // server-level member — so a concurrent hot-swap Update can never pair a
   // query with a policy that mismatches its ranking state.

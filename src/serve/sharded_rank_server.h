@@ -172,7 +172,16 @@ class ShardedRankServer {
   /// Rebuilds every shard snapshot from global page state and publishes them
   /// as one new epoch. Safe to call while readers are serving. When `pool`
   /// is non-null the per-shard builds run on it in parallel.
-  void Update(const std::vector<double>& popularity,
+  ///
+  /// Transactional: the publish either completes (returns true) or rolls
+  /// back completely (returns false) — a failure in any build phase (shard
+  /// re-sort, merge, epoch state, or an injected fault at the RCU boundary)
+  /// leaves the previous epoch serving untouched, the epoch counter
+  /// unadvanced, and (for a hot-swap Update) the previous policy in place
+  /// for the next attempt. Failed attempts are counted in
+  /// `<obs_prefix>/publish_failures` and tracked by epochs_since_publish();
+  /// the next successful Update clears the degraded state.
+  bool Update(const std::vector<double>& popularity,
               const std::vector<uint8_t>& zero_awareness,
               const std::vector<int64_t>& birth_step,
               ThreadPool* pool = nullptr);
@@ -187,7 +196,10 @@ class ShardedRankServer {
   /// is served by a policy that mismatches its ranking state. This is the
   /// online A/B ramp primitive the experiment layer (src/exp/) builds on.
   /// Passing null keeps the current policy (== the 4-arg overload).
-  void Update(const std::vector<double>& popularity,
+  /// Transactional like the 4-arg overload; a failed hot-swap publish also
+  /// rolls the pending policy back, so no later Update publishes under a
+  /// policy that never made it to an epoch.
+  bool Update(const std::vector<double>& popularity,
               const std::vector<uint8_t>& zero_awareness,
               const std::vector<int64_t>& birth_step,
               std::shared_ptr<const StochasticRankingPolicy> new_policy,
@@ -224,6 +236,22 @@ class ShardedRankServer {
   uint64_t total_visits() const {
     return total_visits_.load(std::memory_order_relaxed);
   }
+
+  // --- Degraded-mode accounting (thread-safe; exported to HEALTH) ---
+
+  /// Update() attempts that rolled back, since construction.
+  uint64_t publish_failures() const {
+    return publish_failures_.load(std::memory_order_relaxed);
+  }
+  /// Consecutive failed Update() attempts since the last successful publish
+  /// — the staleness age of the snapshot still serving, in epochs. 0 when
+  /// healthy.
+  uint64_t epochs_since_publish() const {
+    return failed_since_success_.load(std::memory_order_relaxed);
+  }
+  /// True while the most recent Update() attempt rolled back — queries are
+  /// still answered, from a stale epoch. Cleared by the next clean publish.
+  bool degraded() const { return epochs_since_publish() > 0; }
   size_t n() const { return n_; }
   size_t shards() const { return shard_pages_.size(); }
   /// The policy of the most recently *published* epoch (the one queries are
@@ -277,6 +305,15 @@ class ShardedRankServer {
   SnapshotStore<ServingView> store_;
   std::atomic<uint64_t> epoch_{0};
   Rng writer_rng_;
+
+  /// Degraded-mode accounting, written by the writer thread, read anywhere.
+  std::atomic<uint64_t> publish_failures_{0};
+  std::atomic<uint64_t> failed_since_success_{0};
+  /// Registry endpoints for the failure path, resolved at construction so
+  /// they are scrapeable before (and without) any failure.
+  obs::Counter* publish_failures_ctr_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
+  obs::Gauge* stale_epochs_gauge_ = nullptr;
 
   mutable std::atomic<uint64_t> context_seq_{0};
 

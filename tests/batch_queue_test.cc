@@ -92,13 +92,15 @@ TEST(BatchQueueTest, CallbackModeDeliversOnConsumerThread) {
   BatchQueue queue(*server);
 
   std::promise<std::vector<uint32_t>> delivered;
-  ASSERT_TRUE(queue.Submit(5, [&](std::vector<uint32_t> results) {
-    delivered.set_value(std::move(results));
-  }));
+  ASSERT_TRUE(
+      queue.Submit(5, [&](QueryOutcome outcome, std::vector<uint32_t> results) {
+        EXPECT_EQ(outcome, QueryOutcome::kServed);
+        delivered.set_value(std::move(results));
+      }));
   const std::vector<uint32_t> results = delivered.get_future().get();
   EXPECT_EQ(results.size(), 5u);
   queue.Stop();
-  EXPECT_FALSE(queue.Submit(5, [](std::vector<uint32_t>) {}));
+  EXPECT_FALSE(queue.Submit(5, [](QueryOutcome, std::vector<uint32_t>) {}));
 }
 
 TEST(BatchQueueTest, StopDrainsAcceptedQueries) {

@@ -19,6 +19,7 @@
 #include "core/policy/policy_factory.h"
 #include "core/policy/promotion_policy.h"
 #include "core/ranking_policy.h"
+#include "fault/fault.h"
 #include "net/client.h"
 #include "net/daemon.h"
 #include "obs/metrics.h"
@@ -120,6 +121,8 @@ TEST(ProtocolTest, RoundTripsEveryFrameType) {
         in.epoch = 99;
         in.inflight = 3;
         in.queries = 1234;
+        in.degraded = true;
+        in.stale_epochs = 7;
         AppendHealthReply(in, &bytes);
         FrameHeader header;
         ASSERT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
@@ -132,6 +135,8 @@ TEST(ProtocolTest, RoundTripsEveryFrameType) {
         EXPECT_EQ(out.epoch, in.epoch);
         EXPECT_EQ(out.inflight, in.inflight);
         EXPECT_EQ(out.queries, in.queries);
+        EXPECT_EQ(out.degraded, in.degraded);
+        EXPECT_EQ(out.stale_epochs, in.stale_epochs);
         break;
       }
       case FrameType::kError: {
@@ -265,17 +270,21 @@ TEST(ProtocolTest, PayloadDecodersRejectMalformedInput) {
     EXPECT_FALSE(DecodeMetricsReply(payload, 3, &out));
   }
 
-  // HEALTH_REPLY: length 25 and a known status byte.
+  // HEALTH_REPLY: length 34, a known status byte, and a 0/1 degraded flag.
   {
     HealthReplyFrame reply;
     std::vector<uint8_t> bytes;
     AppendHealthReply(reply, &bytes);
     uint8_t* payload = bytes.data() + kHeaderSize;
     HealthReplyFrame out;
-    EXPECT_TRUE(DecodeHealthReply(payload, 25, &out));
-    EXPECT_FALSE(DecodeHealthReply(payload, 24, &out));
+    EXPECT_TRUE(DecodeHealthReply(payload, 34, &out));
+    EXPECT_FALSE(DecodeHealthReply(payload, 33, &out));
+    EXPECT_FALSE(DecodeHealthReply(payload, 25, &out));  // pre-degraded size
+    payload[25] = 2;  // degraded must be 0 or 1
+    EXPECT_FALSE(DecodeHealthReply(payload, 34, &out));
+    payload[25] = 0;
     payload[0] = 99;  // unknown HealthStatus
-    EXPECT_FALSE(DecodeHealthReply(payload, 25, &out));
+    EXPECT_FALSE(DecodeHealthReply(payload, 34, &out));
   }
 
   // ERROR: out-of-range code, message_len mismatch.
@@ -291,6 +300,11 @@ TEST(ProtocolTest, PayloadDecodersRejectMalformedInput) {
     EXPECT_TRUE(DecodeError(payload, len, &out));
     EXPECT_FALSE(DecodeError(payload, len - 1, &out));
     payload[8] = 0;  // code 0 is reserved/invalid
+    EXPECT_FALSE(DecodeError(payload, len, &out));
+    payload[8] = 6;  // DEADLINE_EXCEEDED, the highest defined code
+    EXPECT_TRUE(DecodeError(payload, len, &out));
+    EXPECT_EQ(out.code, ErrorCode::kDeadlineExceeded);
+    payload[8] = 7;  // one past the last defined code
     EXPECT_FALSE(DecodeError(payload, len, &out));
   }
 }
@@ -349,6 +363,57 @@ TEST(ProtocolTest, FuzzedInputParsesOrRejects) {
     for (uint8_t& b : garbage) b = static_cast<uint8_t>(rng.NextIndex(256));
     FrameHeader header;
     DecodeHeader(garbage, sizeof(garbage), &header);
+  }
+
+  // Truncated frames: every proper prefix must ask for more bytes (short
+  // header) or fail the payload decoder cleanly — never over-read.
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    FrameHeader header;
+    const DecodeStatus status = DecodeHeader(valid.data(), cut, &header);
+    if (cut < kHeaderSize) {
+      EXPECT_EQ(status, DecodeStatus::kNeedMore);
+      continue;
+    }
+    ASSERT_EQ(status, DecodeStatus::kOk);
+    QueryReplyFrame out;
+    EXPECT_FALSE(
+        DecodeQueryReply(valid.data() + kHeaderSize, cut - kHeaderSize, &out));
+  }
+
+  // Oversized declared length: payload_len beyond kMaxPayload is malformed
+  // at the header, so a hostile frame cannot make the server buffer
+  // unbounded input; exactly kMaxPayload stays within bounds.
+  {
+    std::vector<uint8_t> bytes = valid;
+    const uint32_t huge = kMaxPayload + 1;
+    bytes[0] = static_cast<uint8_t>(huge);
+    bytes[1] = static_cast<uint8_t>(huge >> 8);
+    bytes[2] = static_cast<uint8_t>(huge >> 16);
+    bytes[3] = static_cast<uint8_t>(huge >> 24);
+    FrameHeader header;
+    EXPECT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+              DecodeStatus::kMalformed);
+    const uint32_t cap = kMaxPayload;
+    bytes[0] = static_cast<uint8_t>(cap);
+    bytes[1] = static_cast<uint8_t>(cap >> 8);
+    bytes[2] = static_cast<uint8_t>(cap >> 16);
+    bytes[3] = static_cast<uint8_t>(cap >> 24);
+    EXPECT_EQ(DecodeHeader(bytes.data(), bytes.size(), &header),
+              DecodeStatus::kOk);
+    EXPECT_EQ(header.payload_len, kMaxPayload);
+  }
+
+  // A count field overstating the carried payload fails the decoder instead
+  // of reading past the buffer.
+  {
+    std::vector<uint8_t> bytes = valid;
+    uint8_t* payload = bytes.data() + kHeaderSize;
+    payload[16] = 0xff;
+    payload[17] = 0xff;
+    payload[18] = 0xff;
+    payload[19] = 0x7f;
+    QueryReplyFrame out;
+    EXPECT_FALSE(DecodeQueryReply(payload, bytes.size() - kHeaderSize, &out));
   }
 }
 
@@ -687,6 +752,85 @@ TEST(NetDaemonTest, ViolationsGetExplicitErrorsNotHangs) {
     ASSERT_TRUE(DecodeError(payload.data(), payload.size(), &error));
     EXPECT_EQ(error.code, ErrorCode::kBadFrame);
     EXPECT_EQ(error.request_id, 77u);
+  }
+  EXPECT_TRUE(harness.daemon->Drain());
+}
+
+// A query that waits past its per-query deadline gets an explicit
+// ERROR/DEADLINE_EXCEEDED — never a hang and never a silently empty reply —
+// the connection survives, and once the stall clears queries serve again.
+TEST(NetDaemonTest, DeadlineExpiredQueriesGetExplicitTimeout) {
+  NetDaemonOptions options;
+  options.queue.deadline_us = 1000;  // 1 ms budget per query
+  DaemonHarness harness(2000, options);
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+
+  {
+    // Stall the queue consumer 50 ms at every drain: each query expires
+    // before pickup.
+    fault::FaultPlan plan;
+    ASSERT_TRUE(fault::FaultPlan::Parse(
+        "point=queue.serve,action=delay,delay_us=50000", &plan, nullptr));
+    fault::FaultInjector injector(std::move(plan));
+    fault::ScopedFaultInjector scoped(&injector);
+
+    NetClient::QueryResult result;
+    ASSERT_EQ(client.Query(10, 1, &result),
+              NetClient::Status::kDeadlineExceeded);
+    EXPECT_EQ(client.last_error().code, ErrorCode::kDeadlineExceeded);
+    EXPECT_GE(injector.fired(fault::kQueueServe), 1u);
+  }
+  EXPECT_GE(harness.daemon->stats().deadline_exceeded, 1u);
+
+  // Fault cleared: the same connection serves normally again.
+  NetClient::QueryResult result;
+  ASSERT_EQ(client.Query(10, 2, &result), NetClient::Status::kOk);
+  EXPECT_EQ(result.pages.size(), 10u);
+  EXPECT_TRUE(harness.daemon->Drain());
+}
+
+// Injected connection resets mid-reply: the client sees a clean IO error
+// (not a hang, not a corrupt frame), and QueryWithRetry reconnects and
+// completes. Injected partial writes must be invisible — short writes are a
+// normal socket condition the flush loop already handles.
+TEST(NetDaemonTest, ClientRetriesThroughInjectedResets) {
+  DaemonHarness harness(2000);
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.daemon->port(), 10));
+
+  {
+    // First daemon write resets the connection; later writes are fine.
+    fault::FaultPlan plan;
+    ASSERT_TRUE(fault::FaultPlan::Parse(
+        "point=net.write,action=reset,nth=1,max_fires=1", &plan, nullptr));
+    fault::FaultInjector injector(std::move(plan));
+    fault::ScopedFaultInjector scoped(&injector);
+
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.initial_backoff_ms = 1;
+    policy.seed = 7;
+    NetClient::QueryResult result;
+    ASSERT_EQ(client.QueryWithRetry(10, 1, &result, policy),
+              NetClient::Status::kOk);
+    EXPECT_EQ(result.pages.size(), 10u);
+    EXPECT_EQ(injector.fired(fault::kNetWrite), 1u);
+  }
+
+  {
+    // Every write capped at 3 bytes: replies arrive intact, just in many
+    // syscalls.
+    fault::FaultPlan plan;
+    ASSERT_TRUE(fault::FaultPlan::Parse(
+        "point=net.write,action=partial,bytes=3", &plan, nullptr));
+    fault::FaultInjector injector(std::move(plan));
+    fault::ScopedFaultInjector scoped(&injector);
+
+    NetClient::QueryResult result;
+    ASSERT_EQ(client.Query(15, 2, &result), NetClient::Status::kOk);
+    EXPECT_EQ(result.pages.size(), 15u);
+    EXPECT_GT(injector.fired(fault::kNetWrite), 1u);
   }
   EXPECT_TRUE(harness.daemon->Drain());
 }

@@ -32,6 +32,11 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
     coverage), or a net/socket point without a positive network_tax ratio
     against a positive inprocess_qps — the daemon's wire-cost measurement
     must stay measured, not just present,
+  * a missing serve/fault:{off,on,armed} point, or an armed-injector QPS
+    ratio (the on point's qps_vs_off, best pairwise over alternating reps
+    like the obs ablation) under min_fault_qps_ratio — the fault-injection
+    framework's <= 1% hot-path overhead acceptance criterion: compiled-in
+    fault sites must stay free when no plan mentions them,
   * a missing publish-phase span family, or one whose median duration blows
     its per-phase budget (publish_phase_budget_us records a generous
     multiple of the observed span/publish/{shards,merge,epoch_state,
@@ -46,11 +51,11 @@ Compares a perf_serve --smoke JSONL run against the checked-in baseline
 Absolute QPS varies across runner hardware, so baseline values are
 recorded deliberately low (see --headroom at --update time) and the gate
 only fires on large relative drops. The smoke capture concatenates
-perf_serve, perf_net, and perf_bai (one JSONL feed, disjoint bench
-names). Refresh the baseline with:
+perf_serve, perf_net, perf_bai, and perf_fault (one JSONL feed, disjoint
+bench names). Refresh the baseline with:
 
-    { perf_serve --smoke; perf_net --smoke; perf_bai --smoke; } \
-        | grep '^{' > smoke.jsonl
+    { perf_serve --smoke; perf_net --smoke; perf_bai --smoke; \
+      perf_fault --smoke; } | grep '^{' > smoke.jsonl
     tools/check_bench.py smoke.jsonl --update
 
 Usage:
@@ -264,6 +269,33 @@ def check(records, spans, baseline, tolerance):
         else:
             rows.append((name, record.get("qps"), None, None, "ok"))
 
+    # Fault-point overhead ablation: the serve/fault points must be present
+    # and the armed-injector point (serve/fault:on — installed, but its plan
+    # never mentions serve.query) must retain at least min_fault_qps_ratio
+    # of the bare point's QPS. Compiled-in fault sites are on the query hot
+    # path permanently; this gate is what keeps them effectively free in
+    # production, where no plan is armed. serve/fault:armed (an inert rule
+    # naming serve.query) is coverage-checked but its ratio is not gated.
+    min_fault = baseline.get("min_fault_qps_ratio", 0.0)
+    for name in baseline.get("fault", []):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: fault-ablation record missing from run")
+            rows.append((name, None, None, None, "MISSING"))
+            continue
+        if name == "serve/fault:on" and min_fault > 0.0:
+            ratio = record.get("qps_vs_off", 0.0)
+            ok = ratio >= min_fault
+            rows.append((f"{name} qps_vs_off", ratio, min_fault, None,
+                         "ok" if ok else "REGRESSION"))
+            if not ok:
+                failures.append(
+                    f"fault-point overhead: armed-injector QPS ratio "
+                    f"{ratio:.3f} fell below {min_fault:.2f} of the bare point"
+                )
+        else:
+            rows.append((name, record.get("qps"), None, None, "ok"))
+
     # Publish-phase budgets: perf_serve's obs:on rep drains its TraceLog into
     # the JSONL feed, so every epoch publish contributes one span per phase
     # (span/publish/{shards,merge,epoch_state,rcu_publish,...}). The baseline
@@ -444,6 +476,7 @@ def update_baseline(records, spans, path, tolerance, headroom):
         "min_speedup_vs_percall": 2.0,
         "min_pl_alias_speedup": 3.0,
         "min_obs_qps_ratio": 0.95,
+        "min_fault_qps_ratio": 0.99,
         "max_bai_epoch_overhead_pct": 50.0,
         "publish_phase_budget_us": phase_budget,
         "bai": sorted(
@@ -454,6 +487,9 @@ def update_baseline(records, spans, path, tolerance, headroom):
         ),
         "obs_ablation": sorted(
             name for name in records if name.startswith("serve/obs:")
+        ),
+        "fault": sorted(
+            name for name in records if name.startswith("serve/fault:")
         ),
         "epoch_publish": sorted(
             name for name in records if name.startswith("serve/epoch_publish")

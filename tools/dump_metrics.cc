@@ -26,6 +26,7 @@
 #include "core/policy/policy_factory.h"
 #include "core/ranking_policy.h"
 #include "exp/experiment_manager.h"
+#include "fault/fault.h"
 #include "net/client.h"
 #include "net/daemon.h"
 #include "obs/metrics.h"
@@ -121,6 +122,33 @@ int main(int argc, char** argv) {
     ShardedRankServer server(MakePolicyFromLabel("plackett-luce(T=0.25)"),
                              community.n, opts);
     ExerciseServer(server, state, rng);
+  }
+
+  // Fault layer: an armed injector eagerly registers fault/fired_total plus
+  // one fault/fired/<point> counter per planned point; the doomed publish it
+  // kills (and the clean retry) put real values behind the serve-layer
+  // degradation accounting registered above.
+  {
+    ServingPageState state = MakeServingPageState(community, rng);
+    ServeOptions opts;
+    opts.shards = 2;
+    opts.metrics = &registry;
+    ShardedRankServer server(RankPromotionConfig::Selective(0.3, 2),
+                             community.n, opts);
+    fault::FaultPlan plan;
+    std::string error;
+    if (!fault::FaultPlan::Parse(
+            "point=publish.rcu_publish,action=fail,nth=1,max_fires=1", &plan,
+            &error)) {
+      std::cerr << "dump_metrics: fault plan: " << error << "\n";
+      return 1;
+    }
+    fault::FaultInjector injector(plan, &registry);
+    fault::ScopedFaultInjector scoped(&injector);
+    server.Update(state.popularity, state.zero_awareness,
+                  state.birth_step);  // rolled back by the planned fault
+    server.Update(state.popularity, state.zero_awareness,
+                  state.birth_step);  // recovers
   }
 
   // Experiment layer: two arms, async serving (per-arm BatchQueues →

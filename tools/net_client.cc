@@ -8,7 +8,8 @@
 // the live daemon:
 //
 //   --expect-no-shed       fail unless every query got an OK reply (no
-//                          OVERLOADED / DRAINING / ERROR / I/O failures)
+//                          OVERLOADED / DRAINING / DEADLINE_EXCEEDED /
+//                          ERROR / I/O failures)
 //   --expect-epoch-advance fail unless the served epoch advanced while the
 //                          load ran (HEALTH before vs after) — the
 //                          "publishes land under live traffic" check
@@ -44,6 +45,7 @@ struct Counts {
   uint64_t ok = 0;
   uint64_t overloaded = 0;
   uint64_t draining = 0;
+  uint64_t deadline = 0;
   uint64_t error = 0;
   uint64_t io_error = 0;
   uint64_t slots = 0;  // pages received across OK replies
@@ -105,6 +107,9 @@ Counts RunWorker(const std::string& host, uint16_t port, int retries,
         break;
       case NetClient::Status::kDraining:
         counts.draining += 1;
+        break;
+      case NetClient::Status::kDeadlineExceeded:
+        counts.deadline += 1;
         break;
       case NetClient::Status::kError:
         counts.error += 1;
@@ -288,6 +293,7 @@ int main(int argc, char** argv) {
     total.ok += counts.ok;
     total.overloaded += counts.overloaded;
     total.draining += counts.draining;
+    total.deadline += counts.deadline;
     total.error += counts.error;
     total.io_error += counts.io_error;
     total.slots += counts.slots;
@@ -296,7 +302,8 @@ int main(int argc, char** argv) {
   std::cout << "net_client: procs=" << procs << " conns=" << conns
             << " issued=" << total.issued << " ok=" << total.ok
             << " overloaded=" << total.overloaded
-            << " draining=" << total.draining << " error=" << total.error
+            << " draining=" << total.draining
+            << " deadline=" << total.deadline << " error=" << total.error
             << " io_error=" << total.io_error << " slots=" << total.slots
             << std::endl;
 

@@ -28,11 +28,13 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "core/community.h"
 #include "core/policy/policy_factory.h"
+#include "fault/fault.h"
 #include "net/daemon.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,6 +83,14 @@ void Usage() {
       "  --drain-timeout-ms MS graceful-drain deadline (default 10000)\n"
       "  --batch N             queue max batch (default 64)\n"
       "  --batch-delay-us US   queue deadline batching (default 0)\n"
+      "  --deadline-us US      per-query serving deadline; expired queries\n"
+      "                        get ERROR/DEADLINE_EXCEEDED; 0 = off\n"
+      "                        (default 0)\n"
+      "  --fault-plan SPEC     deterministic fault schedule (chaos drills;\n"
+      "                        see src/fault/fault.h for the grammar, e.g.\n"
+      "                        \"point=net.write,action=reset,prob=0.05\").\n"
+      "                        Arms after the initial epoch publishes, so\n"
+      "                        the daemon always starts serving\n"
       "  --seed SEED           community + serving seed (default 2026)\n"
       "  --trace-every N       sampled span stride, drained to stderr;\n"
       "                        0 = off (default 0)\n";
@@ -108,6 +118,8 @@ int main(int argc, char** argv) {
   uint64_t drain_timeout_ms = 10000;
   size_t batch = 64;
   uint64_t batch_delay_us = 0;
+  uint64_t deadline_us = 0;
+  std::string fault_plan_spec;
   uint64_t seed = 2026;
   size_t trace_every = 0;
 
@@ -157,6 +169,10 @@ int main(int argc, char** argv) {
       batch = ParseU64(next(), "--batch");
     } else if (arg == "--batch-delay-us") {
       batch_delay_us = ParseU64(next(), "--batch-delay-us");
+    } else if (arg == "--deadline-us") {
+      deadline_us = ParseU64(next(), "--deadline-us");
+    } else if (arg == "--fault-plan") {
+      fault_plan_spec = next();
     } else if (arg == "--seed") {
       seed = ParseU64(next(), "--seed");
     } else if (arg == "--trace-every") {
@@ -169,6 +185,12 @@ int main(int argc, char** argv) {
   }
 
   std::string error;
+  fault::FaultPlan fault_plan;
+  if (!fault_plan_spec.empty() &&
+      !fault::FaultPlan::Parse(fault_plan_spec, &fault_plan, &error)) {
+    std::cerr << "randrankd: --fault-plan: " << error << "\n";
+    return 2;
+  }
   std::shared_ptr<const StochasticRankingPolicy> policy =
       MakePolicyFromLabel(policy_label, &error);
   if (policy == nullptr) {
@@ -213,6 +235,7 @@ int main(int argc, char** argv) {
   nopts.drain_timeout_ms = drain_timeout_ms;
   nopts.queue.max_batch = batch;
   nopts.queue.max_delay_us = batch_delay_us;
+  nopts.queue.deadline_us = deadline_us;
   nopts.metrics = &metrics;
   nopts.trace = trace_every > 0 ? &trace : nullptr;
 
@@ -227,6 +250,17 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Chaos drills: arm the fault schedule only after the initial epoch is
+  // serving and the socket is up, so a publish-killing plan degrades a live
+  // daemon instead of preventing startup. Uninstalled before the injector
+  // dies at end of scope.
+  std::unique_ptr<fault::FaultInjector> fault_injector;
+  if (!fault_plan_spec.empty()) {
+    fault_injector =
+        std::make_unique<fault::FaultInjector>(fault_plan, &metrics);
+    fault::InstallFaultInjector(fault_injector.get());
+  }
 
   // The one machine-readable startup line; flushed so a pipe reader sees it
   // before any traffic flows.
@@ -267,6 +301,10 @@ int main(int argc, char** argv) {
       on_swap_policy = !on_swap_policy;
       next_policy = on_swap_policy ? swap_policy : policy;
     }
+    // A rolled-back publish (fault-injected or otherwise) still counts
+    // toward --max-epochs so a hostile plan cannot pin the daemon alive
+    // forever; the server keeps serving the previous epoch and its own
+    // publish_failures()/degraded() accounting feeds the drained line.
     server.Update(state.popularity, state.zero_awareness, state.birth_step,
                   next_policy);
     ++publishes;
@@ -277,13 +315,20 @@ int main(int argc, char** argv) {
   }
 
   const bool clean = daemon.Drain();
+  if (fault_injector != nullptr) fault::InstallFaultInjector(nullptr);
   const net::NetDaemonStats stats = daemon.stats();
   std::cout << "randrankd drained " << (clean ? "clean" : "FORCED")
             << ": epochs=" << server.epoch() << " queries=" << stats.queries
             << " replies=" << stats.replies
             << " shed_overloaded=" << stats.shed_overloaded
             << " rejected_draining=" << stats.rejected_draining
+            << " deadline_exceeded=" << stats.deadline_exceeded
             << " bad_frames=" << stats.bad_frames
-            << " accepts=" << stats.accepts << std::endl;
+            << " accepts=" << stats.accepts
+            << " publish_failures=" << server.publish_failures()
+            << " degraded=" << (server.degraded() ? 1 : 0)
+            << " fault_fires="
+            << (fault_injector ? fault_injector->fired_total() : 0)
+            << std::endl;
   return clean ? 0 : 3;
 }
